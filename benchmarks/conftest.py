@@ -1,0 +1,69 @@
+"""Shared benchmark fixtures and table rendering.
+
+Each benchmark module regenerates one paper table or figure:
+
+* the ``benchmark`` fixture times the *host* (NumPy) execution of the
+  kernels/methods — the reproducible part of "performance";
+* the printed tables contain the *modeled* GH200/Alps numbers from the
+  hardware substrate — the part that answers the paper's claims.
+
+Every module writes its table to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference stable artifacts, and prints it (visible
+with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.waves import BandlimitedImpulse
+from repro.core.problem import ElasticProblem
+from repro.workloads.ground import build_ground_problem, stratified_model
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_table(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+
+
+def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def bench_forces(problem: ElasticProblem, n: int, seed0: int = 0,
+                 amplitude: float = 1e6) -> list[BandlimitedImpulse]:
+    """Ensemble forcing tuned so the measurement window sits in
+    free vibration (see DESIGN.md on the band-limited impulse)."""
+    dt = problem.dt
+    f0 = 0.3 / (np.pi * dt)
+    return [
+        BandlimitedImpulse.random(
+            problem.mesh, dt, rng=seed0 + i, amplitude=amplitude,
+            f0=f0, cycles_to_onset=1.0,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="session")
+def bench_problem() -> ElasticProblem:
+    """The stratified ground model at bench resolution (~10k dofs)."""
+    return build_ground_problem(stratified_model(), resolution=(6, 6, 3))
+
+
+@pytest.fixture(scope="session")
+def kernel_problem() -> ElasticProblem:
+    """Larger mesh for SpMV kernel timing (Table 2)."""
+    return build_ground_problem(stratified_model(), resolution=(10, 10, 5))

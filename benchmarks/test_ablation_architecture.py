@@ -1,0 +1,86 @@
+"""Ablation bench — architectural sensitivity (paper §4 future work).
+
+"Implementing this method on a different platform would ... provide
+opportunity to understand sensitivities to the relevant architectural
+features, e.g., CPU memory, CPU-GPU bandwidth, and GPU throughput."
+
+This bench characterizes the EBE-MCG workload once on the bench mesh
+and replays it against modified single-GH200 modules, printing the
+speedup each 2x hardware improvement buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_forces, format_table, write_table
+from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+from repro.studies.sensitivity import (
+    SWEEPABLE_PARAMETERS,
+    characterize_pipeline,
+    sweep_parameter,
+)
+
+FACTORS = [0.5, 1.0, 2.0, 4.0]
+
+
+@pytest.fixture(scope="module")
+def profile(bench_problem):
+    forces = bench_forces(bench_problem, 8)
+    return characterize_pipeline(bench_problem, forces, nt=40,
+                                 window_start=30, s=12, n_regions=8)
+
+
+def test_architecture_sensitivity(benchmark, profile):
+    sweeps = benchmark(
+        lambda: {
+            p: sweep_parameter(profile, SINGLE_GH200, p, FACTORS)
+            for p in SWEEPABLE_PARAMETERS
+        }
+    )
+
+    rows = []
+    for param, pts in sweeps.items():
+        base = next(p for p in pts if p.factor == 1.0)
+        rows.append(
+            [param]
+            + [f"{base.t_step / p.t_step:.3f}x" for p in pts]
+            + ["yes" if pts[-1].predictor_hidden else "no"]
+        )
+    write_table(
+        "ablation_architecture",
+        format_table(
+            "Architectural sensitivity — step speedup vs single-GH200 "
+            f"(factors {FACTORS}; workload: EBE-MCG, {profile.n_dofs} dofs)",
+            ["parameter"] + [f"x{f}" for f in FACTORS] + ["pred hidden @x4"],
+            rows,
+        ),
+    )
+
+    # GPU throughput is the dominant knob for the flop-bound EBE solver
+    gain = {
+        p: sweeps[p][FACTORS.index(2.0)].t_step for p in SWEEPABLE_PARAMETERS
+    }
+    base_t = sweeps["gpu.peak_flops"][FACTORS.index(1.0)].t_step
+    assert base_t / gain["gpu.peak_flops"] > base_t / gain["c2c.bandwidth"]
+    assert base_t / gain["gpu.peak_flops"] > base_t / gain["cpu.mem_bandwidth"]
+    # halving anything never speeds the step up
+    for p in SWEEPABLE_PARAMETERS:
+        assert sweeps[p][0].t_step >= sweeps[p][FACTORS.index(1.0)].t_step - 1e-15
+
+
+def test_alps_vs_single_gh200(benchmark, profile):
+    """The same workload replayed on both paper machines: Alps' power
+    cap must cost solver time exactly as Table 3 vs Table 4 shows."""
+    from repro.studies.sensitivity import modeled_step_time
+
+    r = benchmark(
+        lambda: (
+            modeled_step_time(profile, SINGLE_GH200),
+            modeled_step_time(profile, ALPS_MODULE),
+        )
+    )
+    single, alps = r
+    assert alps["t_solver_phase"] > single["t_solver_phase"]
+    # Alps CPU memory is faster: the predictor phase shrinks
+    assert alps["t_predictor_phase"] < single["t_predictor_phase"]

@@ -1,0 +1,73 @@
+"""Ablation bench — what each predictor ingredient buys.
+
+DESIGN.md design choices: the AB base, the MGS correction estimate,
+the subdomain split, and the Eq. 3 force input.  This bench runs all
+arms on identical physics and prints iterations + initial residuals
+for the forced and free-vibration windows separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forces, format_table, write_table
+from repro.studies.ablation import ABLATION_VARIANTS, run_predictor_ablation
+
+NT = 64
+FORCED = slice(8, 32)
+FREE = slice(44, 64)
+
+
+@pytest.fixture(scope="module")
+def ablation(bench_problem):
+    force = bench_forces(bench_problem, 1, seed0=3)[0]
+    return run_predictor_ablation(bench_problem, force, nt=NT, s=16,
+                                  n_regions=8)
+
+
+def test_predictor_ablation(benchmark, bench_problem, ablation):
+    force = bench_forces(bench_problem, 1, seed0=11)[0]
+    benchmark.pedantic(
+        lambda: run_predictor_ablation(bench_problem, force, nt=6, s=4,
+                                       n_regions=4, variants=("ab-only",)),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for v in ABLATION_VARIANTS:
+        arm = ablation[v]
+        rows.append([
+            v,
+            f"{arm.mean_iterations(FORCED):.1f}",
+            f"{arm.mean_iterations(FREE):.1f}",
+            f"{arm.median_initial_relres(FORCED):.2e}",
+            f"{arm.median_initial_relres(FREE):.2e}",
+        ])
+    write_table(
+        "ablation_predictor",
+        format_table(
+            "Predictor ablation — CG iterations / initial residual per arm "
+            f"({bench_problem.n_dofs} dofs; forced window steps 8-32, "
+            "free vibration 44-64)",
+            ["variant", "iters (forced)", "iters (free)",
+             "relres0 (forced)", "relres0 (free)"],
+            rows,
+        ),
+    )
+
+    ab_free = ablation["ab-only"].mean_iterations(FREE)
+    # every data-driven arm beats AB in free vibration
+    for v in ("dd-global", "dd-noforce", "dd-full"):
+        assert ablation[v].mean_iterations(FREE) < ab_free
+    # force input must not hurt the free phase
+    assert (
+        ablation["dd-full"].mean_iterations(FREE)
+        <= ablation["dd-noforce"].mean_iterations(FREE) * 1.1
+    )
+    # initial residual: dd-full is the best (or tied) free-phase arm
+    best = min(
+        ablation[v].median_initial_relres(FREE)
+        for v in ("dd-global", "dd-noforce", "dd-full")
+    )
+    assert ablation["dd-full"].median_initial_relres(FREE) <= 3 * best

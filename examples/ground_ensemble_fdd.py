@@ -1,0 +1,62 @@
+"""Ground-structure screening via ensemble FDD (the paper's Fig. 1
+workflow).
+
+For each candidate 3D ground structure, run an ensemble of
+random-impulse free-vibration simulations, extract each surface
+point's dominant frequency by frequency domain decomposition, and
+print the resulting distributions.  Comparing these against observed
+microtremor spectra is how the paper proposes to score candidate
+models for a real site.
+
+Run:  python examples/ground_ensemble_fdd.py        (a few minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GROUND_MODELS, build_ground_problem, run_method
+from repro.analysis import BandlimitedImpulse, dominant_frequencies, fdd_first_singular
+from repro.workloads.ground import SEDIMENT
+
+RESOLUTION = (5, 5, 4)
+N_CASES = 4
+NT = 256
+
+print(f"{'model':12s} {'median f_dom':>12s} {'p10':>8s} {'p90':>8s}   notes")
+print("-" * 64)
+
+for name, factory in GROUND_MODELS.items():
+    model = factory()
+    problem = build_ground_problem(model, resolution=RESOLUTION)
+    dt = problem.dt
+
+    # band-limited random impulses around the expected layer resonance
+    f_layer = SEDIMENT.vs / (4 * 60.0)
+    forces = [
+        BandlimitedImpulse.random(problem.mesh, dt, rng=i, amplitude=1e6,
+                                  f0=2.0 * f_layer, cycles_to_onset=1.0)
+        for i in range(N_CASES)
+    ]
+
+    # record vertical displacement at every surface node
+    surf = problem.mesh.surface_nodes()
+    z_dofs = 3 * surf + 2
+    result = run_method(problem, forces, nt=NT, method="ebe-mcg@cpu-gpu",
+                        s_range=(4, 12), waveform_dofs=z_dofs)
+
+    # FDD on the free-vibration tail
+    tail = result.waveforms[:, NT // 4:, :].transpose(0, 2, 1)
+    fs = 1.0 / dt
+    doms = dominant_frequencies(tail, fs, nperseg=128, band=(0.2, 0.45 * fs))
+    freqs, sv1 = fdd_first_singular(tail, fs, nperseg=128)
+    peak = freqs[np.argmax(sv1[1:]) + 1]
+
+    p10, p90 = np.percentile(doms, [10, 90])
+    print(f"{name:12s} {np.median(doms):10.3f} Hz {p10:8.3f} {p90:8.3f}"
+          f"   FDD sv1 peak at {peak:.3f} Hz")
+
+print(f"\n1D theory for the stratified model: vs/4H = "
+      f"{SEDIMENT.vs / (4 * 60.0):.3f} Hz")
+print("Distinct distributions across models are what lets the ensemble "
+      "discriminate candidate ground structures (paper Fig. 1).")

@@ -1,0 +1,55 @@
+"""Method comparison: regenerate a Table-3-style report on your machine.
+
+Runs the paper's four methods on the same ensemble and prints the
+modeled single-GH200 comparison — elapsed time, iterations, memory,
+power, energy — plus the speedup ladder.
+
+Run:  python examples/method_comparison.py          (~2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import METHODS, build_ground_problem, run_method, stratified_model
+from repro.analysis import BandlimitedImpulse
+
+NT = 64
+WINDOW = (40, 64)
+
+problem = build_ground_problem(stratified_model(), resolution=(6, 6, 3))
+dt = problem.dt
+f0 = 0.3 / (np.pi * dt)
+forces = [
+    BandlimitedImpulse.random(problem.mesh, dt, rng=i, amplitude=1e6,
+                              f0=f0, cycles_to_onset=1.0)
+    for i in range(8)
+]
+
+runs = {}
+runs["crs-cg@cpu"] = run_method(problem, forces[:1], nt=NT, method="crs-cg@cpu")
+runs["crs-cg@gpu"] = run_method(problem, forces[:1], nt=NT, method="crs-cg@gpu")
+runs["crs-cg@cpu-gpu"] = run_method(problem, forces[:2], nt=NT,
+                                    method="crs-cg@cpu-gpu", s_range=(8, 32))
+runs["ebe-mcg@cpu-gpu"] = run_method(problem, forces, nt=NT,
+                                     method="ebe-mcg@cpu-gpu", s_range=(8, 32))
+
+base = runs["crs-cg@cpu"].elapsed_per_step_per_case(WINDOW)
+print(f"{'method':18s} {'t/step/case':>12s} {'iters':>7s} {'speedup':>8s} "
+      f"{'module W':>9s} {'J/step/case':>12s} {'GPU mem':>9s} {'CPU mem':>9s}")
+print("-" * 92)
+for m in METHODS:
+    r = runs[m]
+    s = r.summary(WINDOW)
+    print(f"{m:18s} {s['elapsed_per_step_per_case_s']*1e3:10.4f} ms "
+          f"{s['iterations_per_step']:7.1f} "
+          f"{base / s['elapsed_per_step_per_case_s']:8.1f} "
+          f"{s['module_power_W']:8.0f} W "
+          f"{s['energy_per_step_per_case_J']*1e3:9.3f} mJ "
+          f"{s['gpu_memory_GB']*1e3:6.2f} MB "
+          f"{s['cpu_memory_GB']*1e3:6.2f} MB")
+
+print("\npaper (46.5M dofs): speedups 1.00 / 9.96 / 26.1 / 86.4; "
+      "energy 9944 / 2163 / 1001 / 309 J")
+print("The ordering and the role of each resource reproduce; absolute "
+      "ratios grow with problem size (see EXPERIMENTS.md).")

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Heterogeneous computing in a strongly-
+connected CPU-GPU environment: fast multiple time-evolution
+equation-based modeling accelerated using data-driven approach"
+(Ichimura et al., SC 2024).
+
+Quick start::
+
+    from repro import build_ground_problem, stratified_model, run_method
+    from repro.analysis import ImpulseForce
+
+    problem = build_ground_problem(stratified_model(), resolution=(6, 6, 3))
+    forces = [ImpulseForce.random(problem.mesh, rng=i) for i in range(8)]
+    result = run_method(problem, forces, nt=40, method="ebe-mcg@cpu-gpu")
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-table reproductions.
+"""
+
+from repro.core import ElasticProblem, RunResult, build_problem, run_method
+from repro.core.methods import METHODS
+from repro.workloads import (
+    GROUND_MODELS,
+    basin_model,
+    build_ground_problem,
+    slanted_model,
+    stratified_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElasticProblem",
+    "RunResult",
+    "build_problem",
+    "run_method",
+    "METHODS",
+    "GROUND_MODELS",
+    "stratified_model",
+    "basin_model",
+    "slanted_model",
+    "build_ground_problem",
+    "__version__",
+]

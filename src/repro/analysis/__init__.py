@@ -1,0 +1,30 @@
+"""Workload generation and response analysis.
+
+* :mod:`~repro.analysis.waves` — the paper's random inputs: impulse
+  waveforms with random amplitudes, uniform spectra and random
+  directions at randomly selected ground-surface points (§3.1);
+* :mod:`~repro.analysis.fdd` — frequency domain decomposition (FDD)
+  of ensemble surface responses into dominant frequencies (Fig. 1);
+* :mod:`~repro.analysis.metrics` — error norms used across tests.
+"""
+
+from repro.analysis.waves import (
+    BandlimitedImpulse,
+    ImpulseForce,
+    random_impulse_pattern,
+    ricker,
+)
+from repro.analysis.fdd import dominant_frequencies, fdd_first_singular, welch_psd
+from repro.analysis.metrics import rel_l2, rel_linf
+
+__all__ = [
+    "BandlimitedImpulse",
+    "ImpulseForce",
+    "ricker",
+    "random_impulse_pattern",
+    "dominant_frequencies",
+    "fdd_first_singular",
+    "welch_psd",
+    "rel_l2",
+    "rel_linf",
+]

@@ -1,0 +1,25 @@
+"""Error norms shared by tests and experiment scripts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rel_l2", "rel_linf"]
+
+
+def rel_l2(x: np.ndarray, ref: np.ndarray) -> float:
+    """``||x - ref||_2 / ||ref||_2`` (0 when both are zero)."""
+    d = np.linalg.norm(np.asarray(x) - np.asarray(ref))
+    n = np.linalg.norm(ref)
+    if n == 0:
+        return 0.0 if d == 0 else float("inf")
+    return float(d / n)
+
+
+def rel_linf(x: np.ndarray, ref: np.ndarray) -> float:
+    """``max|x - ref| / max|ref|`` (0 when both are zero)."""
+    d = np.max(np.abs(np.asarray(x) - np.asarray(ref)))
+    n = np.max(np.abs(ref))
+    if n == 0:
+        return 0.0 if d == 0 else float("inf")
+    return float(d / n)

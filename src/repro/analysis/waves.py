@@ -1,0 +1,139 @@
+"""Random impulse inputs (paper §3.1).
+
+"Random waves are analyzed by inputting impulse waveforms with random
+amplitudes and uniform spectra in random directions at 10,000 randomly
+selected points on the ground surface."  A discrete delta at the first
+step has an exactly uniform spectrum, so each case's forcing is a
+static random nodal pattern applied at step 1 only; the remaining
+steps are free vibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.mesh import Tet10Mesh
+from repro.util.rng import make_rng
+
+__all__ = ["random_impulse_pattern", "ImpulseForce"]
+
+
+def random_impulse_pattern(
+    mesh: Tet10Mesh,
+    rng: np.random.Generator | int | None = 0,
+    n_points: int | None = None,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Random surface force pattern: ``n_points`` surface nodes receive
+    a force of random amplitude in a uniformly random direction.
+
+    Returns the ``(n_dofs,)`` nodal force vector.
+    """
+    rng = make_rng(rng)
+    surf = mesh.surface_nodes()
+    if surf.size == 0:
+        raise ValueError("mesh has no surface nodes")
+    k = surf.size if n_points is None else min(int(n_points), surf.size)
+    chosen = rng.choice(surf, size=k, replace=False)
+
+    # uniform directions on the sphere, amplitudes ~ |N(0, amplitude)|
+    dirs = rng.standard_normal((k, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    amps = np.abs(rng.standard_normal(k)) * amplitude
+
+    f = np.zeros(mesh.n_dofs)
+    dof = 3 * chosen[:, None] + np.arange(3)[None, :]
+    np.add.at(f, dof.ravel(), (amps[:, None] * dirs).ravel())
+    return f
+
+
+@dataclass
+class ImpulseForce:
+    """Callable forcing ``f(it)``: the pattern at ``impulse_step``,
+    zero elsewhere (free vibration afterwards).
+
+    This is the literal discrete delta.  On coarse meshes it injects
+    energy into element-scale modes no time integrator can track; for
+    those use :class:`BandlimitedImpulse`, which is the same input
+    band-limited to the mesh's resolvable range (the paper's impulse
+    is, implicitly, band-limited relative to *its* 2.5 m mesh).
+    """
+
+    pattern: np.ndarray
+    impulse_step: int = 1
+
+    def __call__(self, it: int) -> np.ndarray:
+        if it == self.impulse_step:
+            return self.pattern.copy()
+        return np.zeros_like(self.pattern)
+
+    @classmethod
+    def random(
+        cls,
+        mesh: Tet10Mesh,
+        rng: np.random.Generator | int | None = 0,
+        n_points: int | None = None,
+        amplitude: float = 1.0,
+        impulse_step: int = 1,
+    ) -> "ImpulseForce":
+        return cls(
+            pattern=random_impulse_pattern(mesh, rng, n_points, amplitude),
+            impulse_step=impulse_step,
+        )
+
+
+def ricker(t: np.ndarray | float, f0: float, t0: float) -> np.ndarray | float:
+    """Ricker wavelet: ``(1 - 2a) exp(-a)`` with ``a = (pi f0 (t-t0))^2``.
+
+    Flat-ish spectrum up to ~``2 f0`` and negligible beyond — the
+    band-limited stand-in for a delta.
+    """
+    a = (np.pi * f0 * (np.asarray(t) - t0)) ** 2
+    return (1.0 - 2.0 * a) * np.exp(-a)
+
+
+@dataclass
+class BandlimitedImpulse:
+    """Random spatial pattern modulated by a Ricker source-time function.
+
+    The default center frequency puts ``omega dt ~ 0.3`` per step —
+    the regime the paper's fine-mesh delta occupies — so predictor
+    behaviour (AB error ~1e-3, data-driven orders better) reproduces
+    at laptop mesh sizes.
+    """
+
+    pattern: np.ndarray
+    dt: float
+    f0: float
+    t0: float
+
+    def __call__(self, it: int) -> np.ndarray:
+        w = float(ricker(it * self.dt, self.f0, self.t0))
+        return self.pattern * w
+
+    @property
+    def quiet_after_step(self) -> int:
+        """Step index after which the source is effectively silent."""
+        return int(np.ceil((self.t0 + 2.0 / self.f0) / self.dt))
+
+    @classmethod
+    def random(
+        cls,
+        mesh: Tet10Mesh,
+        dt: float,
+        rng: np.random.Generator | int | None = 0,
+        n_points: int | None = None,
+        amplitude: float = 1.0,
+        f0: float | None = None,
+        cycles_to_onset: float = 2.0,
+    ) -> "BandlimitedImpulse":
+        if f0 is None:
+            f0 = 0.15 / (dt * np.pi)  # omega*dt ~ 0.3 at center frequency
+        return cls(
+            pattern=random_impulse_pattern(mesh, rng, n_points, amplitude),
+            dt=float(dt),
+            f0=float(f0),
+            t0=float(cycles_to_onset / f0),
+        )

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    List the built-in ground-structure workloads.
+``info``
+    Build a problem and print its discretization facts.
+``run``
+    Run one of the four methods on a ground workload, print the
+    paper-style summary, optionally save JSON / VTK artifacts.
+``sensitivity``
+    Characterize the workload and sweep an architectural parameter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous CPU-GPU time-evolution solver (SC'24 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list ground-structure workloads")
+
+    info = sub.add_parser("info", help="print problem facts")
+    _add_problem_args(info)
+
+    run = sub.add_parser("run", help="run one method on a workload")
+    _add_problem_args(run)
+    run.add_argument("--method", default="ebe-mcg@cpu-gpu",
+                     help="crs-cg@cpu | crs-cg@gpu | crs-cg@cpu-gpu | ebe-mcg@cpu-gpu")
+    run.add_argument("--cases", type=int, default=8, help="ensemble size")
+    run.add_argument("--steps", type=int, default=64, help="time steps")
+    run.add_argument("--module", default="single-gh200",
+                     choices=["single-gh200", "alps"], help="hardware model")
+    run.add_argument("--threads", type=int, default=None,
+                     help="predictor CPU threads per process")
+    run.add_argument("--s-min", type=int, default=8)
+    run.add_argument("--s-max", type=int, default=32)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", default=None, help="save result JSON here")
+    run.add_argument("--vtk", default=None, help="save final displacement VTK here")
+
+    sens = sub.add_parser("sensitivity", help="architectural sweep")
+    _add_problem_args(sens)
+    sens.add_argument("--param", default="gpu.peak_flops",
+                      help="see repro.studies.sensitivity.SWEEPABLE_PARAMETERS")
+    sens.add_argument("--factors", default="0.5,1,2,4",
+                      help="comma-separated scale factors")
+    sens.add_argument("--module", default="single-gh200",
+                      choices=["single-gh200", "alps"])
+    return p
+
+
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", default="stratified",
+                   help="stratified | basin | slanted")
+    p.add_argument("--resolution", default="5,5,3",
+                   help="hex cells per direction, e.g. 6,6,3")
+
+
+def _module(name: str):
+    from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+
+    return SINGLE_GH200 if name == "single-gh200" else ALPS_MODULE
+
+
+def _problem(args):
+    from repro.workloads.ground import GROUND_MODELS, build_ground_problem
+
+    if args.model not in GROUND_MODELS:
+        raise SystemExit(f"unknown model {args.model!r}; try `repro models`")
+    res = tuple(int(x) for x in args.resolution.split(","))
+    if len(res) != 3:
+        raise SystemExit("--resolution needs three comma-separated integers")
+    return build_ground_problem(GROUND_MODELS[args.model](), resolution=res)
+
+
+def _forces(problem, n, seed):
+    from repro.analysis.waves import BandlimitedImpulse
+
+    f0 = 0.3 / (np.pi * problem.dt)
+    return [
+        BandlimitedImpulse.random(problem.mesh, problem.dt, rng=seed + i,
+                                  amplitude=1e6, f0=f0, cycles_to_onset=1.0)
+        for i in range(n)
+    ]
+
+
+def _cmd_models(_args) -> int:
+    from repro.workloads.ground import GROUND_MODELS
+
+    for name, factory in GROUND_MODELS.items():
+        m = factory()
+        print(f"{name:12s} soft vs={m.soft.vs:g} m/s, hard vs={m.hard.vs:g} m/s, "
+              f"domain {m.dims}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    problem = _problem(args)
+    mesh = problem.mesh
+    print(f"model        : {args.model}")
+    print(f"elements     : {mesh.n_elems} (TET10)")
+    print(f"nodes        : {mesh.n_nodes}")
+    print(f"dofs         : {problem.n_dofs}")
+    print(f"dt           : {problem.dt:.6g} s")
+    print(f"fixed nodes  : {problem.fixed_nodes.size} (bottom)")
+    crs = problem.crs_operator()
+    ebe = problem.ebe_operator()
+    print(f"CRS storage  : {crs.memory_bytes() / 1e6:.2f} MB "
+          f"({crs.nnz_blocks} 3x3 blocks)")
+    print(f"EBE storage  : {ebe.memory_bytes() / 1e6:.2f} MB (matrix-free)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.methods import METHODS, run_method
+
+    if args.method not in METHODS:
+        raise SystemExit(f"unknown method {args.method!r}; choose from {METHODS}")
+    problem = _problem(args)
+    forces = _forces(problem, args.cases, args.seed)
+    result = run_method(
+        problem, forces, nt=args.steps, method=args.method,
+        module=_module(args.module), s_range=(args.s_min, args.s_max),
+        cpu_threads=args.threads,
+    )
+    window = (args.steps * 5 // 8, args.steps)
+    print(f"\n{args.method} on {args.module} "
+          f"({problem.n_dofs} dofs, {args.cases} cases, {args.steps} steps)")
+    for k, v in result.summary(window).items():
+        print(f"  {k:34s} {v}")
+    if args.json:
+        from repro.io.results import save_result
+
+        path = save_result(result, args.json, window=window)
+        print(f"saved JSON -> {path}")
+    if args.vtk:
+        from repro.io.vtk import write_vtk
+
+        u = result.final_states[0].u.reshape(-1, 3)
+        path = write_vtk(problem.mesh, args.vtk,
+                         point_data={"displacement": u})
+        print(f"saved VTK  -> {path}")
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.studies.sensitivity import characterize_pipeline, sweep_parameter
+
+    problem = _problem(args)
+    forces = _forces(problem, 4, 0)
+    profile = characterize_pipeline(problem, forces, nt=24, window_start=16,
+                                    s=8, n_regions=8)
+    factors = [float(x) for x in args.factors.split(",")]
+    pts = sweep_parameter(profile, _module(args.module), args.param, factors)
+    base = next((p for p in pts if p.factor == 1.0), pts[0])
+    print(f"\nsensitivity of EBE-MCG step time to {args.param} "
+          f"({args.module}, {problem.n_dofs} dofs):")
+    for p in pts:
+        print(f"  x{p.factor:<5g} t_step {p.t_step:.3e} s  "
+              f"speedup {base.t_step / p.t_step:5.3f}x  "
+              f"predictor hidden: {p.predictor_hidden}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "info": _cmd_info,
+        "run": _cmd_run,
+        "sensitivity": _cmd_sensitivity,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Multi-node substrate (paper §2.2 last part, Fig. 2, Fig. 5).
+
+The paper partitions the finite element model across compute nodes
+(METIS), runs Algorithm 3 per node, and keeps nodal values consistent
+with point-to-point GPU-GPU synchronization inside the solver only —
+the predictor needs no communication.
+
+Here: recursive coordinate bisection replaces METIS (adequate for the
+structured ground meshes), :class:`~repro.cluster.halo.DistributedEBE`
+executes the partitioned matrix-vector product with an explicit
+halo-sum and verifies against the global operator, and
+:mod:`~repro.cluster.weakscaling` models the Fig. 5 weak-scaling curve
+from measured per-tile work plus the communication cost model.
+"""
+
+from repro.cluster.partition import PartitionInfo, partition_elements
+from repro.cluster.halo import DistributedEBE, HaloPlan, build_halo_plan
+from repro.cluster.comm import CommCostModel
+from repro.cluster.weakscaling import WeakScalingPoint, weak_scaling_curve
+
+__all__ = [
+    "PartitionInfo",
+    "partition_elements",
+    "HaloPlan",
+    "build_halo_plan",
+    "DistributedEBE",
+    "CommCostModel",
+    "CommCostModel",
+    "WeakScalingPoint",
+    "weak_scaling_curve",
+]

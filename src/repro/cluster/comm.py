@@ -1,0 +1,52 @@
+"""Communication cost model for the partitioned solver.
+
+Three message patterns matter per CG iteration (paper Fig. 2):
+
+* halo exchange after the EBE sweep — pairwise, overlappable messages
+  to face neighbours (GPUDirect, no CPU involvement);
+* two allreduces for the CG dot products — tree reductions,
+  ``ceil(log2 P)`` latency-bound rounds;
+* nothing for the predictor ("the parallel performance is not degraded
+  by inter-node communication").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.transfer import TransferModel
+
+__all__ = ["CommCostModel"]
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Cost calculator for one rank's per-iteration communication."""
+
+    link: TransferModel
+
+    def halo_time(self, bytes_per_neighbor: list[float]) -> float:
+        """Pairwise halo exchange: neighbours are contacted
+        concurrently over the NIC, so the cost is one latency plus the
+        serialized bandwidth of this rank's total halo volume."""
+        if not bytes_per_neighbor:
+            return 0.0
+        total = float(sum(bytes_per_neighbor))
+        return self.link.latency + total / self.link.bandwidth
+
+    def allreduce_time(self, nbytes: float, nparts: int) -> float:
+        """Tree allreduce of a small message (CG scalars)."""
+        if nparts <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nparts))
+        return rounds * self.link.time(nbytes)
+
+    def cg_iteration_overhead(
+        self, halo_bytes_per_neighbor: list[float], nparts: int, n_scalars: int = 1
+    ) -> float:
+        """Extra seconds per CG iteration due to communication: one halo
+        exchange (SpMV) + two scalar allreduces (rho, p.q)."""
+        return self.halo_time(halo_bytes_per_neighbor) + 2.0 * self.allreduce_time(
+            8.0 * n_scalars, nparts
+        )

@@ -1,0 +1,25 @@
+"""The paper's contribution: heterogeneous multi-case time evolution.
+
+* :class:`~repro.core.problem.ElasticProblem` — everything needed to
+  time-step one discretized dynamic-elasticity model (Eq. 5);
+* :mod:`~repro.core.methods` — the four compared methods:
+  ``CRS-CG@CPU``, ``CRS-CG@GPU`` (Algorithm 2), ``CRS-CG@CPU-GPU``
+  (Algorithm 4), ``EBE-MCG@CPU-GPU`` (Algorithm 3);
+* :class:`~repro.core.pipeline.HeterogeneousPipeline` — the
+  two-process-set CPU/GPU overlap schedule on a simulated timeline;
+* :mod:`~repro.core.results` — per-step records and table-ready
+  summaries.
+"""
+
+from repro.core.problem import ElasticProblem, build_problem
+from repro.core.results import RunResult, StepRecord
+from repro.core.methods import METHODS, run_method
+
+__all__ = [
+    "ElasticProblem",
+    "build_problem",
+    "RunResult",
+    "StepRecord",
+    "METHODS",
+    "run_method",
+]

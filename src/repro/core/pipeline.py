@@ -1,0 +1,225 @@
+"""Two-process-set CPU/GPU pipeline (paper Algorithms 3 & 4).
+
+Two sets of ``r`` cases leapfrog: while set B's solver occupies the
+GPU, set A's predictor runs on the CPU; after a synchronization and a
+C2C exchange the roles swap within the same time step.  If predictor
+time <= solver time, the predictor is completely hidden — the paper's
+central scheduling claim.
+
+Numerically the sets are executed sequentially on the host — the
+dependency order is exactly that of Algorithm 2, so results match a
+sequential per-case run to rounding (the fused multi-RHS kernels order
+flops differently, nothing more); concurrency exists in the modeled
+:class:`~repro.util.timeline.Timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.problem import ElasticProblem
+from repro.core.results import StepRecord
+from repro.fem.newmark import NewmarkState
+from repro.hardware.power import PowerModel
+from repro.hardware.roofline import DeviceModel
+from repro.hardware.transfer import TransferModel
+from repro.sparse.cg import CGResult, pcg
+from repro.util.counters import KernelTally, tally_scope
+from repro.util.timeline import Timeline
+
+__all__ = ["CaseSet", "HeterogeneousPipeline"]
+
+
+@dataclass
+class CaseSet:
+    """``r`` problem cases advanced together by one fused solver.
+
+    ``op_kind`` selects the solver's matrix representation: ``"ebe"``
+    gives Algorithm 3 (EBE-MCG), ``"crs"`` gives Algorithm 4 (CRS-CG;
+    the paper uses r=1 there).
+    """
+
+    problem: ElasticProblem
+    forces: Sequence[Callable[[int], np.ndarray]]
+    predictors: Sequence
+    op_kind: str = "ebe"
+    eps: float = 1e-8
+    states: list[NewmarkState] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.forces) != len(self.predictors):
+            raise ValueError("one predictor per case required")
+        if self.op_kind not in ("ebe", "crs"):
+            raise ValueError("op_kind must be 'ebe' or 'crs'")
+        if not self.states:
+            self.states = [self.problem.zero_state() for _ in self.forces]
+
+    @property
+    def r(self) -> int:
+        return len(self.forces)
+
+    def _operator(self):
+        return (
+            self.problem.ebe_operator()
+            if self.op_kind == "ebe"
+            else self.problem.crs_operator()
+        )
+
+    def predict(self, it: int) -> tuple[np.ndarray, KernelTally]:
+        """All cases' initial guesses for step ``it``, and the
+        predictor work tally.  The upcoming force (known in advance —
+        the paper's Eq. 3 input ``f_it``) is passed to force-aware
+        predictors."""
+        with tally_scope() as t:
+            guesses = np.column_stack(
+                [p.predict(f_next=f(it)) for p, f in zip(self.predictors, self.forces)]
+            )
+        return guesses, t
+
+    def solve(self, it: int, guesses: np.ndarray) -> tuple[CGResult, KernelTally]:
+        """RHS build + fused (M)CG refinement + state advance + predictor
+        observation for time step ``it``; returns the solver work tally."""
+        pb = self.problem
+        nm = pb.newmark
+        with tally_scope() as t:
+            # fused effective RHS (Eq. 5 right side) for all cases
+            U = np.column_stack([s.u for s in self.states])
+            V = np.column_stack([s.v for s in self.states])
+            Acc = np.column_stack([s.a for s in self.states])
+            F = np.column_stack([f(it) for f in self.forces])
+            UM = nm.c_mass * U + (4.0 / pb.dt) * V + Acc
+            UC = nm.c_damp * U + V
+            B = F + pb.mass_operator(self.op_kind) @ UM
+            B += pb.damping_operator(self.op_kind) @ UC
+            B[pb.fixed_dofs, :] = 0.0
+
+            res = pcg(
+                self._operator(),
+                B,
+                x0=guesses,
+                precond=pb.preconditioner(),
+                eps=self.eps,
+            )
+        X = res.x if res.x.ndim == 2 else res.x[:, None]
+        for k in range(self.r):
+            self.states[k] = nm.advance(self.states[k], X[:, k])
+            self.predictors[k].observe(
+                self.states[k].u, self.states[k].v, f=F[:, k]
+            )
+        return res, t
+
+    def displacements(self) -> np.ndarray:
+        return np.column_stack([s.u for s in self.states])
+
+
+@dataclass
+class HeterogeneousPipeline:
+    """Schedules two :class:`CaseSet` objects per Algorithm 3/4.
+
+    Parameters
+    ----------
+    cpu, gpu : device timing models (``cpu`` should already reflect the
+        per-process thread count).
+    power : module power model (provides cap throttling).
+    c2c : the strongly-connected CPU<->GPU transfer model.
+    controller : optional :class:`~repro.predictor.adaptive.AdaptiveSController`;
+        when given, every predictor with a ``set_s`` method follows it.
+    """
+
+    set_a: CaseSet
+    set_b: CaseSet
+    cpu: DeviceModel
+    gpu: DeviceModel
+    power: PowerModel
+    c2c: TransferModel
+    controller: object | None = None
+    timeline: Timeline = field(default_factory=Timeline)
+    records: list[StepRecord] = field(default_factory=list)
+    waveform_dofs: np.ndarray | None = None
+    _waves: list[np.ndarray] = field(default_factory=list)
+
+    def _gpu_concurrent(self) -> DeviceModel:
+        f = self.power.gpu_throttle_factor(cpu_concurrent=True)
+        return self.gpu.throttled(f)
+
+    def _exchange_time(self, n_vectors: int) -> float:
+        """Full-duplex C2C exchange: guesses up, solutions down."""
+        nbytes = 8.0 * self.set_a.problem.n_dofs * n_vectors
+        return self.c2c.time(nbytes)
+
+    def run(self, nt: int) -> None:
+        """Execute ``nt`` time steps (appends to records/timeline)."""
+        tl = self.timeline
+        pb = self.set_a.problem
+        lanes = ["cpu", "gpu", "c2c"]
+
+        start_step = self.records[-1].step + 1 if self.records else 1
+
+        # Bootstrap: set B's first prediction (Algorithm 3 needs x_bar
+        # for the first phase-A solve).
+        guesses_b, tp = self.set_b.predict(start_step)
+        tl.schedule("cpu", "predictor", self.cpu.time_for_tally(tp))
+        tl.barrier(lanes)
+
+        for it in range(start_step, start_step + nt):
+            t0 = tl.makespan
+
+            # ---- phase A: predictor(A)@CPU || solver(B)@GPU ----
+            guesses_a, tp_a = self.set_a.predict(it)
+            res_b, ts_b = self.set_b.solve(it, guesses_b)
+            t_cpu_a = self.cpu.time_for_tally(tp_a)
+            t_gpu_a = self._gpu_concurrent().time_for_tally(ts_b)
+            tl.schedule("cpu", "predictor", t_cpu_a)
+            tl.schedule("gpu", "solver", t_gpu_a)
+            sync = tl.barrier(["cpu", "gpu"])
+            t_x1 = self._exchange_time(self.set_a.r)
+            tl.schedule("c2c", "exchange", t_x1, not_before=sync)
+            tl.barrier(lanes)
+
+            # ---- phase B: solver(A)@GPU || predictor(B)@CPU ----
+            res_a, ts_a = self.set_a.solve(it, guesses_a)
+            guesses_b, tp_b = self.set_b.predict(it + 1)
+            t_gpu_b = self._gpu_concurrent().time_for_tally(ts_a)
+            t_cpu_b = self.cpu.time_for_tally(tp_b)
+            tl.schedule("gpu", "solver", t_gpu_b)
+            tl.schedule("cpu", "predictor", t_cpu_b)
+            sync = tl.barrier(["cpu", "gpu"])
+            t_x2 = self._exchange_time(self.set_b.r)
+            tl.schedule("c2c", "exchange", t_x2, not_before=sync)
+            tl.barrier(lanes)
+
+            # ---- bookkeeping ----
+            iters = np.concatenate([res_a.iterations, res_b.iterations])
+            s_used = getattr(self.set_a.predictors[0], "s_effective", 0)
+            self.records.append(
+                StepRecord(
+                    step=it,
+                    iterations=iters,
+                    t_solver=t_gpu_a + t_gpu_b,
+                    t_predictor=t_cpu_a + t_cpu_b,
+                    t_transfer=t_x1 + t_x2,
+                    t_step=tl.makespan - t0,
+                    s_used=s_used,
+                )
+            )
+            if self.waveform_dofs is not None:
+                ua = self.set_a.displacements()[self.waveform_dofs]
+                ub = self.set_b.displacements()[self.waveform_dofs]
+                self._waves.append(np.concatenate([ua.T, ub.T], axis=0))
+
+            if self.controller is not None:
+                t_pred = max(t_cpu_a, t_cpu_b)
+                t_solve = max(t_gpu_a, t_gpu_b)
+                s_new = self.controller.update(t_pred, t_solve)
+                for p in (*self.set_a.predictors, *self.set_b.predictors):
+                    if hasattr(p, "set_s"):
+                        p.set_s(s_new)
+
+    def waveforms(self) -> np.ndarray | None:
+        """(ncases, nt, nrec) recorded displacements, if requested."""
+        if not self._waves:
+            return None
+        return np.stack(self._waves, axis=1)

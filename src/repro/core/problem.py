@@ -1,0 +1,195 @@
+"""Problem container: one discretized dynamic-elasticity model.
+
+Bundles the element matrices, constrained effective operator, Newmark
+coefficients and boundary data so the method drivers
+(:mod:`repro.core.methods`) can be written purely in terms of
+operators.  Both matrix representations (block-CRS and EBE) are built
+lazily from the *same* constrained element matrices, which is what
+makes the CRS-vs-EBE comparisons apples-to-apples and lets tests assert
+exact agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.fem.assembly import apply_dirichlet_to_elements, assemble_bsr
+from repro.fem.elements import (
+    element_mass_stiffness,
+    face_dashpot_matrices,
+    fold_faces_into_elements,
+)
+from repro.fem.material import lame_parameters, rayleigh_coefficients
+from repro.fem.mesh import Tet10Mesh
+from repro.fem.newmark import NewmarkBeta, NewmarkState
+from repro.sparse.bcrs import BlockCRS
+from repro.sparse.ebe import EBEOperator
+from repro.sparse.precond import BlockJacobi
+
+__all__ = ["ElasticProblem", "build_problem"]
+
+
+@dataclass
+class ElasticProblem:
+    """A ready-to-step elasticity problem (paper Eq. 5).
+
+    Use :func:`build_problem` to construct one from a mesh and
+    materials; the attributes below are then consistent by
+    construction.
+    """
+
+    mesh: Tet10Mesh
+    dt: float
+    newmark: NewmarkBeta
+    Me: np.ndarray  # (ne, 30, 30) unconstrained mass
+    Ce: np.ndarray  # (ne, 30, 30) unconstrained damping (Rayleigh + dashpots)
+    Ke: np.ndarray  # (ne, 30, 30) unconstrained stiffness
+    Ae: np.ndarray  # (ne, 30, 30) constrained effective matrix
+    fixed_nodes: np.ndarray
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def n_dofs(self) -> int:
+        return self.mesh.n_dofs
+
+    @property
+    def n_nodes(self) -> int:
+        return self.mesh.n_nodes
+
+    @property
+    def n_elems(self) -> int:
+        return self.mesh.n_elems
+
+    @cached_property
+    def fixed_dofs(self) -> np.ndarray:
+        return (3 * self.fixed_nodes[:, None] + np.arange(3)[None, :]).ravel()
+
+    # -- operators (lazy, cached) -------------------------------------
+    def crs_operator(self) -> BlockCRS:
+        """Effective matrix in 3x3 block CRS (the baseline storage)."""
+        if "A_crs" not in self._cache:
+            self._cache["A_crs"] = BlockCRS(
+                assemble_bsr(self.Ae, self.mesh.elems, self.n_nodes), tag="spmv.crs"
+            )
+        return self._cache["A_crs"]
+
+    def ebe_operator(self) -> EBEOperator:
+        """Effective matrix applied matrix-free (Eq. 8/9)."""
+        if "A_ebe" not in self._cache:
+            self._cache["A_ebe"] = EBEOperator(
+                self.Ae, self.mesh.elems, self.n_nodes, tag="spmv.ebe"
+            )
+        return self._cache["A_ebe"]
+
+    def mass_operator(self, kind: str = "crs") -> BlockCRS | EBEOperator:
+        key = f"M_{kind}"
+        if key not in self._cache:
+            if kind == "crs":
+                self._cache[key] = BlockCRS(
+                    assemble_bsr(self.Me, self.mesh.elems, self.n_nodes), tag="rhs.spmv"
+                )
+            else:
+                self._cache[key] = EBEOperator(
+                    self.Me, self.mesh.elems, self.n_nodes, tag="spmv.ebe"
+                )
+        return self._cache[key]
+
+    def damping_operator(self, kind: str = "crs") -> BlockCRS | EBEOperator:
+        key = f"C_{kind}"
+        if key not in self._cache:
+            if kind == "crs":
+                self._cache[key] = BlockCRS(
+                    assemble_bsr(self.Ce, self.mesh.elems, self.n_nodes), tag="rhs.spmv"
+                )
+            else:
+                self._cache[key] = EBEOperator(
+                    self.Ce, self.mesh.elems, self.n_nodes, tag="spmv.ebe"
+                )
+        return self._cache[key]
+
+    def preconditioner(self) -> BlockJacobi:
+        """3x3 block-Jacobi of the constrained effective matrix."""
+        if "precond" not in self._cache:
+            # Diagonal blocks come matrix-free so the EBE path never
+            # needs the assembled matrix.
+            self._cache["precond"] = BlockJacobi(self.ebe_operator().diagonal_blocks())
+        return self._cache["precond"]
+
+    # -- stepping helpers ---------------------------------------------
+    def zero_state(self) -> NewmarkState:
+        return NewmarkState.zeros(self.n_dofs)
+
+    def rhs(self, f_ext: np.ndarray, state: NewmarkState, kind: str = "crs") -> np.ndarray:
+        """Effective right-hand side for the next step, with Dirichlet
+        rows zeroed (fixed dofs then solve to exactly zero)."""
+        M = self.mass_operator(kind)
+        C = self.damping_operator(kind)
+        b = self.newmark.rhs(M, C, f_ext, state)
+        b[self.fixed_dofs] = 0.0
+        return b
+
+    def constrain(self, v: np.ndarray) -> np.ndarray:
+        """Zero fixed dofs of a vector (in place; returned for chaining)."""
+        v[self.fixed_dofs] = 0.0
+        return v
+
+
+def build_problem(
+    mesh: Tet10Mesh,
+    rho: np.ndarray,
+    vp: np.ndarray,
+    vs: np.ndarray,
+    dt: float,
+    damping_ratio: float = 0.02,
+    damping_band: tuple[float, float] = (0.5, 5.0),
+    absorbing_sides: bool = True,
+    fix_bottom: bool = True,
+) -> ElasticProblem:
+    """Assemble an :class:`ElasticProblem` from mesh + materials.
+
+    Parameters
+    ----------
+    rho, vp, vs : per-element density and wave speeds (scalars are
+        broadcast).
+    damping_ratio, damping_band : Rayleigh fit ``h`` at ``(f1, f2)`` Hz.
+    absorbing_sides : add Lysmer-Kuhlemeyer dashpots on the four
+        vertical sides (the paper's semi-infinite-ground treatment).
+    fix_bottom : clamp the bottom surface (paper: "displacement at the
+        bottom is fixed").
+    """
+    ne = mesh.n_elems
+    rho = np.broadcast_to(np.asarray(rho, dtype=float), (ne,)).copy()
+    vp = np.broadcast_to(np.asarray(vp, dtype=float), (ne,)).copy()
+    vs = np.broadcast_to(np.asarray(vs, dtype=float), (ne,)).copy()
+    lam, mu = lame_parameters(rho, vp, vs)
+
+    Me, Ke = element_mass_stiffness(mesh, rho, lam, mu)
+    alpha, beta = rayleigh_coefficients(damping_ratio, *damping_band)
+    Ce = alpha * Me + beta * Ke
+
+    if absorbing_sides:
+        f_elem, _f_loc, f_nodes = mesh.side_faces()
+        if f_nodes.shape[0]:
+            Cf = face_dashpot_matrices(
+                mesh, f_nodes, rho[f_elem], vp[f_elem], vs[f_elem]
+            )
+            fold_faces_into_elements(Ce, mesh, f_elem, f_nodes, Cf)
+
+    nm = NewmarkBeta(dt)
+    Ae_raw = nm.c_mass * Me + nm.c_damp * Ce + Ke
+    fixed = mesh.bottom_nodes() if fix_bottom else np.empty(0, dtype=np.int64)
+    Ae = apply_dirichlet_to_elements(Ae_raw, mesh.elems, fixed, mesh.n_nodes)
+
+    return ElasticProblem(
+        mesh=mesh,
+        dt=dt,
+        newmark=nm,
+        Me=Me,
+        Ce=Ce,
+        Ke=Ke,
+        Ae=Ae,
+        fixed_nodes=np.asarray(fixed, dtype=np.int64),
+    )

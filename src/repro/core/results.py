@@ -1,0 +1,103 @@
+"""Run records and table-ready summaries.
+
+The paper reports per-method aggregates over a steady-state window
+("average elapsed time per time step between 250-500th time step ...
+per problem case"); :class:`RunResult` keeps per-step records so any
+window can be summarized the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.newmark import NewmarkState
+from repro.util.timeline import Timeline
+
+__all__ = ["StepRecord", "RunResult"]
+
+
+@dataclass
+class StepRecord:
+    """Modeled cost and measured numerics of one time step (all cases)."""
+
+    step: int
+    iterations: np.ndarray  # (ncases,) per-case first-crossing CG iterations
+    t_solver: float  # modeled solver seconds this step (sum over phases)
+    t_predictor: float  # modeled predictor seconds this step
+    t_transfer: float  # modeled C2C seconds this step
+    t_step: float  # makespan advance of this step
+    s_used: int = 0  # predictor history length (0 = AB-only)
+
+    @property
+    def mean_iterations(self) -> float:
+        return float(np.mean(self.iterations))
+
+
+@dataclass
+class RunResult:
+    """Everything the benches need to print a paper table row."""
+
+    method: str
+    module_name: str
+    n_cases: int
+    n_dofs: int
+    records: list[StepRecord]
+    timeline: Timeline
+    cpu_memory_bytes: float
+    gpu_memory_bytes: float
+    power: dict[str, float] = field(default_factory=dict)
+    final_states: list[NewmarkState] = field(default_factory=list)
+    waveforms: np.ndarray | None = None  # (ncases, nt, nrec_dofs)
+
+    # -- windowed summaries -------------------------------------------
+    def _window(self, window: tuple[int, int] | None) -> list[StepRecord]:
+        if window is None:
+            return self.records
+        lo, hi = window
+        return [r for r in self.records if lo <= r.step < hi]
+
+    def elapsed_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
+        """Modeled wall seconds per time step per problem case — the
+        paper's "total elapsed time per case" column."""
+        recs = self._window(window)
+        return sum(r.t_step for r in recs) / (len(recs) * self.n_cases)
+
+    def solver_time_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
+        recs = self._window(window)
+        return sum(r.t_solver for r in recs) / (len(recs) * self.n_cases)
+
+    def predictor_time_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
+        recs = self._window(window)
+        return sum(r.t_predictor for r in recs) / (len(recs) * self.n_cases)
+
+    def iterations_per_step(self, window: tuple[int, int] | None = None) -> float:
+        recs = self._window(window)
+        return float(np.mean([r.mean_iterations for r in recs]))
+
+    def energy_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
+        """Module energy per time step per case (paper's last column),
+        from the time-averaged module power over the whole run."""
+        p = self.power.get("module_power", 0.0)
+        return p * self.elapsed_per_step_per_case(window)
+
+    def s_trace(self) -> np.ndarray:
+        return np.asarray([r.s_used for r in self.records])
+
+    def summary(self, window: tuple[int, int] | None = None) -> dict[str, float]:
+        return {
+            "method": self.method,
+            "module": self.module_name,
+            "n_cases": self.n_cases,
+            "n_dofs": self.n_dofs,
+            "cpu_memory_GB": self.cpu_memory_bytes / 1e9,
+            "gpu_memory_GB": self.gpu_memory_bytes / 1e9,
+            "elapsed_per_step_per_case_s": self.elapsed_per_step_per_case(window),
+            "solver_per_step_per_case_s": self.solver_time_per_step_per_case(window),
+            "predictor_per_step_per_case_s": self.predictor_time_per_step_per_case(window),
+            "iterations_per_step": self.iterations_per_step(window),
+            "module_power_W": self.power.get("module_power", 0.0),
+            "gpu_power_W": self.power.get("gpu_power", 0.0),
+            "energy_per_step_per_case_J": self.energy_per_step_per_case(window),
+        }

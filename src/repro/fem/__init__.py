@@ -1,0 +1,41 @@
+"""Finite element substrate: quadratic tetrahedral elasticity.
+
+Implements the discretization of paper §3.1: 3D linear dynamic
+elasticity (Eq. 4) on second-order tetrahedral (TET10) meshes, with
+Rayleigh material damping, Lysmer-Kuhlemeyer absorbing side boundaries,
+a fixed bottom, and Newmark-β (trapezoidal) time integration (Eqs. 5-7).
+"""
+
+from repro.fem.quadrature import tet_rule, tri_rule
+from repro.fem.tet10 import TET10_EDGES, tet10_shape, tri6_shape
+from repro.fem.mesh import Tet10Mesh, box_tet4, promote_to_tet10, structured_box
+from repro.fem.material import Material, lame_parameters, rayleigh_coefficients
+from repro.fem.elements import (
+    element_mass_stiffness,
+    face_dashpot_matrices,
+    fold_faces_into_elements,
+)
+from repro.fem.assembly import apply_dirichlet_to_elements, assemble_bsr
+from repro.fem.newmark import NewmarkBeta, NewmarkState
+
+__all__ = [
+    "tet_rule",
+    "tri_rule",
+    "TET10_EDGES",
+    "tet10_shape",
+    "tri6_shape",
+    "Tet10Mesh",
+    "box_tet4",
+    "promote_to_tet10",
+    "structured_box",
+    "Material",
+    "lame_parameters",
+    "rayleigh_coefficients",
+    "element_mass_stiffness",
+    "face_dashpot_matrices",
+    "fold_faces_into_elements",
+    "apply_dirichlet_to_elements",
+    "assemble_bsr",
+    "NewmarkBeta",
+    "NewmarkState",
+]

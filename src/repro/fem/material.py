@@ -1,0 +1,84 @@
+"""Isotropic linear-elastic materials and Rayleigh damping.
+
+Ground materials are specified the seismological way — mass density
+``rho`` and P/S wave speeds ``vp``/``vs`` — from which the Lame
+parameters follow:  ``mu = rho vs^2``, ``lambda = rho (vp^2 - 2 vs^2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Material", "lame_parameters", "rayleigh_coefficients"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """Isotropic elastic material.
+
+    Attributes
+    ----------
+    rho : mass density [kg/m^3]
+    vp : P-wave speed [m/s]
+    vs : S-wave speed [m/s]
+    damping : hysteretic damping ratio (dimensionless), converted to
+        Rayleigh coefficients by :func:`rayleigh_coefficients`.
+    """
+
+    rho: float
+    vp: float
+    vs: float
+    damping: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0:
+            raise ValueError("rho must be positive")
+        if self.vs <= 0 or self.vp <= self.vs:
+            raise ValueError("need 0 < vs < vp")
+        if not 0 <= self.damping < 1:
+            raise ValueError("damping ratio must be in [0, 1)")
+
+    @property
+    def mu(self) -> float:
+        return self.rho * self.vs**2
+
+    @property
+    def lam(self) -> float:
+        return self.rho * (self.vp**2 - 2.0 * self.vs**2)
+
+    @property
+    def youngs(self) -> float:
+        lam, mu = self.lam, self.mu
+        return mu * (3 * lam + 2 * mu) / (lam + mu)
+
+    @property
+    def poisson(self) -> float:
+        lam, mu = self.lam, self.mu
+        return lam / (2 * (lam + mu))
+
+
+def lame_parameters(rho: np.ndarray, vp: np.ndarray, vs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized (lambda, mu) from density and wave speeds."""
+    rho = np.asarray(rho, dtype=float)
+    vp = np.asarray(vp, dtype=float)
+    vs = np.asarray(vs, dtype=float)
+    mu = rho * vs**2
+    lam = rho * (vp**2 - 2.0 * vs**2)
+    return lam, mu
+
+
+def rayleigh_coefficients(h: float, f1: float, f2: float) -> tuple[float, float]:
+    """Rayleigh damping ``C = alpha M + beta K`` matching ratio ``h`` at
+    frequencies ``f1 < f2`` (Hz).
+
+    This is the standard two-point fit: with ``w = 2 pi f``,
+    ``alpha = 2 h w1 w2 / (w1 + w2)`` and ``beta = 2 h / (w1 + w2)``.
+    """
+    if f1 <= 0 or f2 <= f1:
+        raise ValueError("need 0 < f1 < f2")
+    w1, w2 = 2.0 * np.pi * f1, 2.0 * np.pi * f2
+    alpha = 2.0 * h * w1 * w2 / (w1 + w2)
+    beta = 2.0 * h / (w1 + w2)
+    return float(alpha), float(beta)

@@ -1,0 +1,120 @@
+"""Gauss quadrature rules on the reference tetrahedron and triangle.
+
+Reference tetrahedron: vertices (0,0,0),(1,0,0),(0,1,0),(0,0,1),
+volume 1/6.  Reference triangle: vertices (0,0),(1,0),(0,1), area 1/2.
+Weights returned here already include the reference measure, i.e.
+``sum(w) == 1/6`` (tet) and ``sum(w) == 1/2`` (tri), so an integral is
+``sum_q w_q * f(x_q) * |det J_q|``.
+
+Rules:
+
+* tet degree 1 (1 pt), degree 2 (4 pt), degree 4 (11-pt Keast).
+  The degree-4 rule integrates both the TET10 consistent mass
+  (integrand degree 4) and stiffness (degree 2) *exactly* on affine
+  elements, so one rule serves every element matrix in the library.
+* tri degree 2 (3 pt) and degree 4 (6 pt) for the absorbing-boundary
+  face integrals (TRI6 mass-like integrand is degree 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tet_rule", "tri_rule"]
+
+
+def tet_rule(degree: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(points, weights)`` for a rule exact to ``degree``.
+
+    ``points`` has shape ``(nq, 3)`` in natural coordinates (xi, eta,
+    zeta); ``weights`` has shape ``(nq,)`` and sums to 1/6.
+    """
+    if degree <= 1:
+        pts = np.array([[0.25, 0.25, 0.25]])
+        wts = np.array([1.0 / 6.0])
+    elif degree == 2:
+        a = 0.5854101966249685
+        b = 0.1381966011250105
+        pts = np.array(
+            [
+                [b, b, b],
+                [a, b, b],
+                [b, a, b],
+                [b, b, a],
+            ]
+        )
+        wts = np.full(4, 1.0 / 24.0)
+    elif degree <= 4:
+        # Keast 11-point rule, exact to degree 4 (one negative weight;
+        # harmless because degree-4 integrands are integrated exactly).
+        w0 = -0.0131555555555556
+        w1 = 0.0076222222222222
+        w2 = 0.0248888888888889
+        a = 0.7857142857142857
+        b = 0.0714285714285714
+        c = 0.3994035761667992
+        d = 0.1005964238332008
+        # natural coords (xi, eta, zeta) = barycentric (L2, L3, L4)
+        pts = [(0.25, 0.25, 0.25)]
+        wts_list = [w0]
+        bary4 = [
+            (a, b, b, b),
+            (b, a, b, b),
+            (b, b, a, b),
+            (b, b, b, a),
+        ]
+        for _l1, l2, l3, l4 in bary4:
+            pts.append((l2, l3, l4))
+            wts_list.append(w1)
+        # 6 permutations of (c, c, d, d)
+        bary6 = [
+            (c, c, d, d),
+            (c, d, c, d),
+            (c, d, d, c),
+            (d, c, c, d),
+            (d, c, d, c),
+            (d, d, c, c),
+        ]
+        for _l1, l2, l3, l4 in bary6:
+            pts.append((l2, l3, l4))
+            wts_list.append(w2)
+        pts = np.array(pts)
+        wts = np.array(wts_list)
+    else:
+        raise ValueError(f"no tet rule for degree {degree}")
+    return pts, wts
+
+
+def tri_rule(degree: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(points, weights)``, points ``(nq, 2)``, sum(w) == 1/2."""
+    if degree <= 1:
+        pts = np.array([[1.0 / 3.0, 1.0 / 3.0]])
+        wts = np.array([0.5])
+    elif degree == 2:
+        pts = np.array(
+            [
+                [1.0 / 6.0, 1.0 / 6.0],
+                [2.0 / 3.0, 1.0 / 6.0],
+                [1.0 / 6.0, 2.0 / 3.0],
+            ]
+        )
+        wts = np.full(3, 1.0 / 6.0)
+    elif degree <= 4:
+        a = 0.445948490915965
+        wa = 0.111690794839005
+        b = 0.091576213509771
+        wb = 0.054975871827661
+        pts = np.array(
+            [
+                [a, a],
+                [1 - 2 * a, a],
+                [a, 1 - 2 * a],
+                [b, b],
+                [1 - 2 * b, b],
+                [b, 1 - 2 * b],
+            ]
+        )
+        wts = np.array([wa, wa, wa, wb, wb, wb])
+    else:
+        raise ValueError(f"no tri rule for degree {degree}")
+    return pts, wts

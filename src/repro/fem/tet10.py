@@ -1,0 +1,105 @@
+"""Shape functions for 10-node tetrahedra (TET10) and 6-node triangles.
+
+Node ordering (matching the mesh generator in :mod:`repro.fem.mesh`):
+
+* corners 0-3;
+* midside nodes 4-9 on edges (0,1), (1,2), (0,2), (0,3), (1,3), (2,3).
+
+Natural coordinates ``(xi, eta, zeta)`` with barycentric
+``L0 = 1 - xi - eta - zeta, L1 = xi, L2 = eta, L3 = zeta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Local corner-node pairs defining the six TET10 midside nodes, in the
+#: order the midside nodes appear (local nodes 4..9).
+TET10_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 1),
+    (1, 2),
+    (0, 2),
+    (0, 3),
+    (1, 3),
+    (2, 3),
+)
+
+#: TRI6 midside-node edge pairs (local nodes 3..5).
+TRI6_EDGES: tuple[tuple[int, int], ...] = ((0, 1), (1, 2), (0, 2))
+
+
+def tet10_shape(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Shape functions and natural-coordinate gradients at ``points``.
+
+    Parameters
+    ----------
+    points : (nq, 3) natural coordinates.
+
+    Returns
+    -------
+    N : (nq, 10) shape-function values.
+    dN : (nq, 10, 3) derivatives w.r.t. (xi, eta, zeta).
+    """
+    pts = np.asarray(points, dtype=float)
+    xi, eta, zeta = pts[:, 0], pts[:, 1], pts[:, 2]
+    l0 = 1.0 - xi - eta - zeta
+    l1, l2, l3 = xi, eta, zeta
+    L = np.stack([l0, l1, l2, l3], axis=1)  # (nq, 4)
+
+    nq = pts.shape[0]
+    N = np.empty((nq, 10))
+    # corner nodes: L_i (2 L_i - 1)
+    for i in range(4):
+        N[:, i] = L[:, i] * (2.0 * L[:, i] - 1.0)
+    # midside nodes: 4 L_a L_b
+    for m, (a, b) in enumerate(TET10_EDGES):
+        N[:, 4 + m] = 4.0 * L[:, a] * L[:, b]
+
+    # dL/d(xi,eta,zeta): constant
+    dL = np.array(
+        [
+            [-1.0, -1.0, -1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )  # (4, 3)
+
+    dN = np.empty((nq, 10, 3))
+    for i in range(4):
+        dN[:, i, :] = (4.0 * L[:, i, None] - 1.0) * dL[i]
+    for m, (a, b) in enumerate(TET10_EDGES):
+        dN[:, 4 + m, :] = 4.0 * (L[:, a, None] * dL[b] + L[:, b, None] * dL[a])
+    return N, dN
+
+
+def tri6_shape(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """TRI6 shape functions on the reference triangle.
+
+    Parameters
+    ----------
+    points : (nq, 2) natural coordinates (xi, eta).
+
+    Returns
+    -------
+    N : (nq, 6); dN : (nq, 6, 2).
+    """
+    pts = np.asarray(points, dtype=float)
+    xi, eta = pts[:, 0], pts[:, 1]
+    l0 = 1.0 - xi - eta
+    L = np.stack([l0, xi, eta], axis=1)  # (nq, 3)
+
+    nq = pts.shape[0]
+    N = np.empty((nq, 6))
+    for i in range(3):
+        N[:, i] = L[:, i] * (2.0 * L[:, i] - 1.0)
+    for m, (a, b) in enumerate(TRI6_EDGES):
+        N[:, 3 + m] = 4.0 * L[:, a] * L[:, b]
+
+    dL = np.array([[-1.0, -1.0], [1.0, 0.0], [0.0, 1.0]])  # (3, 2)
+    dN = np.empty((nq, 6, 2))
+    for i in range(3):
+        dN[:, i, :] = (4.0 * L[:, i, None] - 1.0) * dL[i]
+    for m, (a, b) in enumerate(TRI6_EDGES):
+        dN[:, 3 + m, :] = 4.0 * (L[:, a, None] * dL[b] + L[:, b, None] * dL[a])
+    return N, dN

@@ -1,0 +1,46 @@
+"""Hardware substrate: analytic models of the paper's machines.
+
+This reproduction has no GH200 to run on, so the paper's measurement
+environment (Table 1) is replaced by models:
+
+* :mod:`~repro.hardware.specs` — device/module datasheets;
+* :mod:`~repro.hardware.roofline` — kernel time = max(flop-time,
+  byte-time) with per-kernel-class efficiencies calibrated once against
+  the paper's Table 2 (see :mod:`~repro.hardware.calibration`);
+* :mod:`~repro.hardware.power` — idle/active component power, module
+  energy accounting, and power-cap throttling (the Alps 634 W cap);
+* :mod:`~repro.hardware.transfer` — NVLink-C2C and NIC transfer costs.
+
+Algorithmic quantities (iterations, convergence, predictor accuracy)
+are *computed*, never modeled; only seconds and Joules come from here.
+"""
+
+from repro.hardware.specs import (
+    ALPS_MODULE,
+    ALPS_NODE,
+    SINGLE_GH200,
+    DeviceSpec,
+    ModuleSpec,
+    NodeSpec,
+)
+from repro.hardware.roofline import DeviceModel, kernel_time
+from repro.hardware.calibration import KernelClass, classify_tag, efficiency_for
+from repro.hardware.power import PowerModel, energy_of_timeline
+from repro.hardware.transfer import TransferModel
+
+__all__ = [
+    "DeviceSpec",
+    "ModuleSpec",
+    "NodeSpec",
+    "SINGLE_GH200",
+    "ALPS_MODULE",
+    "ALPS_NODE",
+    "DeviceModel",
+    "kernel_time",
+    "KernelClass",
+    "classify_tag",
+    "efficiency_for",
+    "PowerModel",
+    "energy_of_timeline",
+    "TransferModel",
+]

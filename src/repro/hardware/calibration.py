@@ -1,0 +1,96 @@
+"""Kernel efficiency calibration (fit once against paper Table 2).
+
+The roofline model needs, per kernel class, the achievable fraction of
+peak flops and of peak memory bandwidth.  These constants are *not*
+free parameters per experiment — they are fit to the five kernel
+measurements of Table 2 and then reused unchanged for Tables 3-4 and
+Figures 4-5, which is what makes the downstream "who wins by how much"
+results predictions rather than curve fits:
+
+* block-CRS SpMV achieves 51-55 % of memory bandwidth on both Grace
+  and H100 (paper: "comparable to cuSPARSE");
+* EBE achieves 28.0 % of FP64 peak with one RHS and 53.3 % with four
+  fused RHS — the gain comes from amortized random access, modeled by
+  a saturating efficiency curve ``eff(r) = a r / (1 + b r)`` fit
+  through those two points;
+* streaming vector kernels (axpy/dot/Jacobi) run near STREAM limits;
+* the CPU-side MGS predictor is a tall-skinny QR: bandwidth bound,
+  near-STREAM on Grace's 72 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["KernelClass", "Efficiency", "classify_tag", "efficiency_for",
+           "EBE_EFF_A", "EBE_EFF_B"]
+
+
+class KernelClass(Enum):
+    CRS_SPMV = "crs_spmv"
+    EBE_SPMV = "ebe_spmv"
+    VECTOR = "vector"
+    PREDICTOR = "predictor"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Efficiency:
+    """Achievable fractions of device peaks for one kernel class."""
+
+    flops: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if not (0 < self.flops <= 1 and 0 < self.bandwidth <= 1):
+            raise ValueError("efficiencies must be in (0, 1]")
+
+
+# eff(r) = EBE_EFF_A * r / (1 + EBE_EFF_B * r); fits Table 2's
+# 28.0 % (r=1) and 53.3 % (r=4) exactly.
+EBE_EFF_B = (4 * 0.280 - 0.533) / (0.533 * 4 - 0.280 * 4)
+EBE_EFF_A = 0.280 * (1 + EBE_EFF_B)
+
+
+def ebe_flop_efficiency(n_rhs: int) -> float:
+    """Saturating EBE flop efficiency vs fused right-hand sides."""
+    if n_rhs < 1:
+        raise ValueError("n_rhs must be >= 1")
+    return EBE_EFF_A * n_rhs / (1.0 + EBE_EFF_B * n_rhs)
+
+
+def classify_tag(tag: str) -> tuple[KernelClass, int]:
+    """Map a tally tag to its kernel class (and fused-RHS count for EBE).
+
+    Tags follow the library convention: ``spmv.crs``, ``spmv.ebe<r>``,
+    ``cg.vec``, ``cg.precond``, ``rhs.spmv``, ``predictor.ab``,
+    ``predictor.mgs``.
+    """
+    if tag.startswith("spmv.ebe"):
+        suffix = tag[len("spmv.ebe"):]
+        r = int(suffix) if suffix.isdigit() else 1
+        return KernelClass.EBE_SPMV, r
+    if tag.startswith("spmv.crs") or tag.startswith("rhs."):
+        return KernelClass.CRS_SPMV, 1
+    if tag.startswith("cg."):
+        return KernelClass.VECTOR, 1
+    if tag.startswith("predictor."):
+        return KernelClass.PREDICTOR, 1
+    return KernelClass.OTHER, 1
+
+
+def efficiency_for(tag: str) -> Efficiency:
+    """Calibrated efficiency for a kernel tag (device-independent; the
+    same fractions-of-peak apply to Grace and H100, which Table 2
+    supports: CRS hits 54.6 % of BW on CPU and 51.0 % on GPU)."""
+    klass, r = classify_tag(tag)
+    if klass is KernelClass.EBE_SPMV:
+        return Efficiency(flops=ebe_flop_efficiency(r), bandwidth=0.60)
+    if klass is KernelClass.CRS_SPMV:
+        return Efficiency(flops=0.30, bandwidth=0.52)
+    if klass is KernelClass.VECTOR:
+        return Efficiency(flops=0.50, bandwidth=0.80)
+    if klass is KernelClass.PREDICTOR:
+        return Efficiency(flops=0.40, bandwidth=0.65)
+    return Efficiency(flops=0.25, bandwidth=0.50)

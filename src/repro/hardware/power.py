@@ -1,0 +1,113 @@
+"""Component power and module energy accounting.
+
+Power model (calibrated to the paper's nvidia-smi readings, Table 3):
+a device draws ``idle_power`` when unoccupied and ``idle + load *
+(max - idle)`` while running a kernel, where ``load`` reflects how much
+of the device the workload engages (e.g. 16 of 72 CPU threads).
+
+Energy of a run = sum over timeline lanes of busy x P_busy + idle x
+P_idle, which is exactly how the paper time-averages module power over
+the solve.  The module power cap (Alps: 634 W) is enforced by slowing
+the GPU until the concurrent draw fits — the paper's "power cap ...
+leading to lower GPU clocks at high CPU loads".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import ModuleSpec
+from repro.util.timeline import Timeline
+
+__all__ = ["PowerModel", "energy_of_timeline"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power/throttle calculator for one CPU+GPU module."""
+
+    module: ModuleSpec
+    cpu_load: float = 1.0  # fraction of CPU engaged (threads / cores)
+    gpu_load: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.cpu_load <= 1 and 0 <= self.gpu_load <= 1):
+            raise ValueError("loads must be in [0, 1]")
+
+    def cpu_busy_power(self) -> float:
+        c = self.module.cpu
+        return c.idle_power + self.cpu_load * (c.max_power - c.idle_power)
+
+    def gpu_busy_power(self) -> float:
+        g = self.module.gpu
+        return g.idle_power + self.gpu_load * (g.max_power - g.idle_power)
+
+    def gpu_throttle_factor(self, cpu_concurrent: bool) -> float:
+        """GPU speed multiplier under the module power cap.
+
+        When the CPU runs concurrently, the GPU may only use
+        ``cap - P_cpu`` watts; its dynamic (above-idle) power — and, to
+        first order, its clock — scales down accordingly.
+        """
+        g = self.module.gpu
+        cpu_draw = self.cpu_busy_power() if cpu_concurrent else self.module.cpu.idle_power
+        budget = self.module.power_cap - cpu_draw - g.idle_power
+        needed = self.gpu_load * (g.max_power - g.idle_power)
+        if needed <= 0:
+            return 1.0
+        return float(min(1.0, max(0.05, budget / needed)))
+
+    def gpu_power_under_cap(self, cpu_concurrent: bool) -> float:
+        """Actual GPU draw after throttling."""
+        g = self.module.gpu
+        f = self.gpu_throttle_factor(cpu_concurrent)
+        return g.idle_power + f * self.gpu_load * (g.max_power - g.idle_power)
+
+
+def energy_of_timeline(tl: Timeline, pm: PowerModel) -> dict[str, float]:
+    """Integrate module power over a timeline with "cpu"/"gpu" lanes.
+
+    Returns a dict with total ``energy`` (J), time-averaged ``module_power``
+    and ``gpu_power`` (W) over the makespan — the same aggregates the
+    paper reports per method.
+    """
+    T = tl.makespan
+    if T <= 0:
+        return {"energy": 0.0, "module_power": 0.0, "gpu_power": 0.0,
+                "cpu_power": 0.0, "makespan": 0.0}
+    cpu_busy = tl.busy_time("cpu")
+    gpu_busy = tl.busy_time("gpu")
+    # Exact CPU-busy / GPU-busy overlap from the interval lists (each
+    # lane's intervals are disjoint by construction).
+    cpu_iv = sorted((iv.start, iv.end) for iv in tl.intervals if iv.resource == "cpu")
+    gpu_iv = sorted((iv.start, iv.end) for iv in tl.intervals if iv.resource == "gpu")
+    overlap = 0.0
+    i = j = 0
+    while i < len(cpu_iv) and j < len(gpu_iv):
+        s = max(cpu_iv[i][0], gpu_iv[j][0])
+        e = min(cpu_iv[i][1], gpu_iv[j][1])
+        if e > s:
+            overlap += e - s
+        if cpu_iv[i][1] <= gpu_iv[j][1]:
+            i += 1
+        else:
+            j += 1
+    gpu_power_concurrent = pm.gpu_power_under_cap(cpu_concurrent=True)
+    gpu_power_alone = pm.gpu_power_under_cap(cpu_concurrent=False)
+    gpu_busy_conc = min(overlap, gpu_busy)
+    gpu_busy_alone = gpu_busy - gpu_busy_conc
+
+    e_cpu = cpu_busy * pm.cpu_busy_power() + (T - cpu_busy) * pm.module.cpu.idle_power
+    e_gpu = (
+        gpu_busy_conc * gpu_power_concurrent
+        + gpu_busy_alone * gpu_power_alone
+        + (T - gpu_busy) * pm.module.gpu.idle_power
+    )
+    energy = e_cpu + e_gpu
+    return {
+        "energy": energy,
+        "module_power": energy / T,
+        "gpu_power": e_gpu / T,
+        "cpu_power": e_cpu / T,
+        "makespan": T,
+    }

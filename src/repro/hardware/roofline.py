@@ -1,0 +1,70 @@
+"""Roofline kernel timing: work tallies -> modeled device seconds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.calibration import efficiency_for
+from repro.hardware.specs import DeviceSpec
+from repro.util.counters import KernelTally
+
+__all__ = ["kernel_time", "DeviceModel"]
+
+
+def kernel_time(
+    flops: float,
+    bytes_: float,
+    device: DeviceSpec,
+    tag: str,
+    flop_factor: float = 1.0,
+    bw_factor: float = 1.0,
+) -> float:
+    """Modeled seconds for one kernel's accumulated work on ``device``.
+
+    ``flop_factor``/``bw_factor`` scale the device's effective compute
+    and bandwidth (1.0 = nominal).  They model power-cap clock
+    throttling (paper §3.4: Alps' 634 W cap lowers GPU clocks at high
+    CPU load — compute scales with clock, HBM bandwidth barely) and
+    partial CPU-thread usage.
+    """
+    if flop_factor <= 0 or bw_factor <= 0:
+        raise ValueError("speed factors must be positive")
+    eff = efficiency_for(tag)
+    t_flops = flops / (eff.flops * device.peak_flops * flop_factor)
+    t_bytes = bytes_ / (eff.bandwidth * device.mem_bandwidth * bw_factor)
+    return max(t_flops, t_bytes)
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Timing adapter for one device, with optional throttles."""
+
+    device: DeviceSpec
+    flop_factor: float = 1.0
+    bw_factor: float = 1.0
+
+    def time_for_tally(self, tally: KernelTally, prefix: str = "") -> float:
+        """Sum of modeled kernel times for all (prefixed) records."""
+        total = 0.0
+        for tag, rec in tally.records.items():
+            if not tag.startswith(prefix):
+                continue
+            total += kernel_time(rec.flops, rec.bytes, self.device, tag,
+                                 self.flop_factor, self.bw_factor)
+        return total
+
+    def time_for(self, tag: str, flops: float, bytes_: float) -> float:
+        return kernel_time(flops, bytes_, self.device, tag,
+                           self.flop_factor, self.bw_factor)
+
+    def throttled(self, flop_factor: float, bw_factor: float | None = None) -> "DeviceModel":
+        """Derated copy; by default bandwidth derates as the fourth
+        root of the clock factor (memory clocks are largely independent
+        of the SM clock)."""
+        if bw_factor is None:
+            bw_factor = flop_factor**0.25
+        return DeviceModel(
+            self.device,
+            self.flop_factor * flop_factor,
+            self.bw_factor * bw_factor,
+        )

@@ -1,0 +1,41 @@
+"""Data-movement cost models: NVLink-C2C and the inter-node NIC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import ModuleSpec
+
+__all__ = ["TransferModel"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Latency + bandwidth transfer time."""
+
+    bandwidth: float  # B/s
+    latency: float  # s
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ValueError("invalid transfer parameters")
+
+    def time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return self.latency + nbytes / self.bandwidth
+
+    @classmethod
+    def c2c(cls, module: ModuleSpec) -> "TransferModel":
+        """The strongly-connected CPU<->GPU link (NVLink-C2C)."""
+        return cls(bandwidth=module.c2c_bandwidth, latency=module.c2c_latency)
+
+    @classmethod
+    def nic(cls, module: ModuleSpec) -> "TransferModel":
+        """Inter-node link (GPUDirect over the Slingshot NIC on Alps)."""
+        if module.interconnect_bandwidth <= 0:
+            raise ValueError(f"module {module.name} has no interconnect")
+        return cls(
+            bandwidth=module.interconnect_bandwidth,
+            latency=module.interconnect_latency,
+        )

@@ -1,0 +1,14 @@
+"""Input/output: persisting runs and exporting meshes/fields.
+
+* :mod:`~repro.io.results` — serialize :class:`~repro.core.results.RunResult`
+  summaries and per-step records to JSON (for EXPERIMENTS.md artifacts
+  and cross-run comparison);
+* :mod:`~repro.io.vtk` — legacy-VTK export of TET10 meshes with nodal
+  and cell fields (dominant-frequency maps, displacement snapshots)
+  for ParaView-style inspection of Fig. 1 results.
+"""
+
+from repro.io.results import load_result_summary, save_result
+from repro.io.vtk import write_vtk
+
+__all__ = ["save_result", "load_result_summary", "write_vtk"]

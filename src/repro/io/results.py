@@ -1,0 +1,71 @@
+"""JSON persistence for run results.
+
+Saves everything needed to regenerate a paper-table row — method,
+module, memory, power, per-step records — without the bulky state
+vectors.  Loading returns plain dictionaries (the consumer is table
+generation and cross-run comparison, not resumption).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.results import RunResult
+
+__all__ = ["save_result", "load_result_summary"]
+
+_SCHEMA_VERSION = 1
+
+
+def save_result(
+    result: RunResult,
+    path: str | pathlib.Path,
+    window: tuple[int, int] | None = None,
+) -> pathlib.Path:
+    """Write a result (summary + per-step records) as JSON."""
+    path = pathlib.Path(path)
+    doc = {
+        "schema": _SCHEMA_VERSION,
+        "summary": _jsonable(result.summary(window)),
+        "window": list(window) if window else None,
+        "power": _jsonable(result.power),
+        "records": [
+            {
+                "step": r.step,
+                "iterations": [int(i) for i in np.asarray(r.iterations)],
+                "t_solver": r.t_solver,
+                "t_predictor": r.t_predictor,
+                "t_transfer": r.t_transfer,
+                "t_step": r.t_step,
+                "s_used": int(r.s_used),
+            }
+            for r in result.records
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def load_result_summary(path: str | pathlib.Path) -> dict:
+    """Read a saved result; returns the full document as a dict."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema {doc.get('schema')!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    return doc
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj

@@ -1,0 +1,89 @@
+"""Legacy-VTK export of TET10 meshes with attached fields.
+
+Writes ASCII ``.vtk`` (unstructured grid, quadratic tetra = cell type
+24) readable by ParaView/VisIt — enough to render the paper's Fig. 1
+dominant-frequency maps and displacement snapshots.
+
+VTK's quadratic-tetra midside ordering is edges (0,1), (1,2), (0,2),
+(0,3), (1,3), (2,3) — identical to this library's TET10 ordering, so
+connectivity passes through unchanged.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.fem.mesh import Tet10Mesh
+
+__all__ = ["write_vtk"]
+
+_VTK_QUADRATIC_TETRA = 24
+
+
+def write_vtk(
+    mesh: Tet10Mesh,
+    path: str | pathlib.Path,
+    point_data: dict[str, np.ndarray] | None = None,
+    cell_data: dict[str, np.ndarray] | None = None,
+    title: str = "repro export",
+) -> pathlib.Path:
+    """Write the mesh and optional fields to a legacy VTK file.
+
+    Parameters
+    ----------
+    point_data : name -> array of shape ``(n_nodes,)`` (scalars) or
+        ``(n_nodes, 3)`` (vectors, e.g. displacement).
+    cell_data : name -> ``(n_elems,)`` scalars (e.g. material id).
+    """
+    path = pathlib.Path(path)
+    nn, ne = mesh.n_nodes, mesh.n_elems
+    lines: list[str] = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {nn} double",
+    ]
+    for p in mesh.nodes:
+        lines.append(f"{p[0]:.9g} {p[1]:.9g} {p[2]:.9g}")
+
+    lines.append(f"CELLS {ne} {ne * 11}")
+    for e in mesh.elems:
+        lines.append("10 " + " ".join(str(int(i)) for i in e))
+    lines.append(f"CELL_TYPES {ne}")
+    lines.extend([str(_VTK_QUADRATIC_TETRA)] * ne)
+
+    if point_data:
+        lines.append(f"POINT_DATA {nn}")
+        for name, arr in point_data.items():
+            arr = np.asarray(arr, dtype=float)
+            if arr.shape == (nn,):
+                lines.append(f"SCALARS {name} double 1")
+                lines.append("LOOKUP_TABLE default")
+                lines.extend(f"{v:.9g}" for v in arr)
+            elif arr.shape == (nn, 3):
+                lines.append(f"VECTORS {name} double")
+                lines.extend(f"{v[0]:.9g} {v[1]:.9g} {v[2]:.9g}" for v in arr)
+            else:
+                raise ValueError(
+                    f"point field {name!r} must be ({nn},) or ({nn}, 3), "
+                    f"got {arr.shape}"
+                )
+
+    if cell_data:
+        lines.append(f"CELL_DATA {ne}")
+        for name, arr in cell_data.items():
+            arr = np.asarray(arr, dtype=float)
+            if arr.shape != (ne,):
+                raise ValueError(
+                    f"cell field {name!r} must be ({ne},), got {arr.shape}"
+                )
+            lines.append(f"SCALARS {name} double 1")
+            lines.append("LOOKUP_TABLE default")
+            lines.extend(f"{v:.9g}" for v in arr)
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+    return path

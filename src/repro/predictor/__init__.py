@@ -1,0 +1,25 @@
+"""Initial-guess predictors for the iterative solver (paper §2.2, Eq. 3).
+
+Two predictors are provided, mirroring the paper's comparison (Fig. 3):
+
+* :class:`~repro.predictor.adams_bashforth.AdamsBashforth` — the
+  conventional 4-step extrapolation used by the CRS-CG baselines;
+* :class:`~repro.predictor.datadriven.DataDrivenPredictor` — the
+  paper's data-driven method ([6]-style): Adams-Bashforth plus a
+  per-subdomain modified-Gram-Schmidt estimate of the remaining
+  correction, learned from the last ``s`` time steps.
+
+:class:`~repro.predictor.adaptive.AdaptiveSController` adjusts ``s``
+online so predictor@CPU time balances solver@GPU time (Fig. 4).
+"""
+
+from repro.predictor.adams_bashforth import AdamsBashforth
+from repro.predictor.datadriven import DataDrivenPredictor, mgs_estimate
+from repro.predictor.adaptive import AdaptiveSController
+
+__all__ = [
+    "AdamsBashforth",
+    "DataDrivenPredictor",
+    "mgs_estimate",
+    "AdaptiveSController",
+]

@@ -1,0 +1,65 @@
+"""Online adjustment of the predictor history length ``s`` (paper §2.2).
+
+The predictor cost grows ~linearly in ``s`` while the solver cost falls
+(better initial guesses -> fewer iterations), so the heterogeneous
+pipeline is balanced when predictor@CPU time matches solver@GPU time.
+The paper "dynamically selects s from the range 8 <= s <= 32 ... such
+that the execution time of the predictor@CPU is equivalent to the
+execution time of the solver@GPU" (Fig. 4).
+
+This controller is deliberately simple: a deadband around the target
+ratio plus single-step moves, which is what keeps the Fig. 4 trace
+stable instead of oscillating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdaptiveSController"]
+
+
+@dataclass
+class AdaptiveSController:
+    """Balance predictor time against solver time by moving ``s``.
+
+    Parameters
+    ----------
+    s_min, s_max : admissible range (paper: 8..32 on the single-GH200
+        node; s_max drops to 11 on Alps' smaller CPU memory).
+    step : how far ``s`` moves per adjustment.
+    deadband : relative tolerance around balance within which ``s``
+        is left alone (hysteresis).
+    """
+
+    s_min: int = 8
+    s_max: int = 32
+    step: int = 2
+    deadband: float = 0.15
+    s: int = field(default=-1)
+    history: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.s_min <= self.s_max:
+            raise ValueError("need 1 <= s_min <= s_max")
+        if self.s < 0:
+            self.s = self.s_min
+
+    def update(self, t_predictor: float, t_solver: float) -> int:
+        """Observe one step's times; return the ``s`` for the next step.
+
+        Increasing ``s`` is useful only while the predictor has slack
+        (t_pred < t_solve): a longer history improves the guess at no
+        makespan cost.  When the predictor becomes critical-path,
+        back off.
+        """
+        if t_predictor < 0 or t_solver < 0:
+            raise ValueError("times must be non-negative")
+        if t_solver > 0:
+            ratio = t_predictor / t_solver
+            if ratio < 1.0 - self.deadband and self.s < self.s_max:
+                self.s = min(self.s_max, self.s + self.step)
+            elif ratio > 1.0 + self.deadband and self.s > self.s_min:
+                self.s = max(self.s_min, self.s - self.step)
+        self.history.append(self.s)
+        return self.s

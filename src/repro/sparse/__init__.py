@@ -1,0 +1,31 @@
+"""Sparse linear algebra substrate.
+
+Implements the two matrix application strategies the paper compares:
+
+* :class:`~repro.sparse.bcrs.BlockCRS` — 3x3 block compressed row
+  storage, the "CRS" baseline (paper Algorithm 1 / Table 2 rows 1-2);
+* :class:`~repro.sparse.ebe.EBEOperator` — matrix-free
+  element-by-element application (Eq. 8) with fused multi-right-hand-
+  side support (Eq. 9, "EBE4").
+
+plus the preconditioned conjugate gradient solver of Algorithm 1 with
+single- and multi-RHS (MCG) modes, and the analytic per-kernel
+flop/byte traffic models that feed the hardware roofline.
+"""
+
+from repro.sparse.bcrs import BlockCRS
+from repro.sparse.precond import BlockJacobi
+from repro.sparse.cg import CGResult, pcg
+from repro.sparse.ebe import EBEOperator
+from repro.sparse.traffic import crs_traffic, ebe_traffic, vector_traffic
+
+__all__ = [
+    "BlockCRS",
+    "BlockJacobi",
+    "CGResult",
+    "pcg",
+    "EBEOperator",
+    "crs_traffic",
+    "ebe_traffic",
+    "vector_traffic",
+]

@@ -1,0 +1,130 @@
+"""Matrix-free Element-by-Element (EBE) operator (paper Eqs. 2, 8, 9).
+
+Applies ``sum_e P_e^T (A_e (P_e x))`` without a global matrix:
+
+1. gather  — ``x`` restricted to each element's 30 local dofs;
+2. apply   — batched dense 30x30 mat-vec against the element matrices;
+3. scatter — accumulate element results back to global dofs
+   (bincount-based; deterministic, no atomics needed on the host).
+
+The fused multi-RHS path applies all ``r`` case vectors inside one
+gather/scatter sweep — the paper's Eq. 9, which reduces the random
+access per case to ``1/r``.
+
+The NumPy execution stores ``A_e`` in host memory; the *modeled* device
+kernel (what the tally is charged with) recomputes element matrices on
+the fly like the paper's OpenACC kernel, per
+:func:`repro.sparse.traffic.ebe_traffic`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fem.assembly import element_dof_ids
+from repro.sparse.traffic import ebe_traffic
+from repro.util import counters
+
+__all__ = ["EBEOperator"]
+
+
+class EBEOperator:
+    """Matrix-free SPD operator defined by per-element dense matrices.
+
+    Parameters
+    ----------
+    elem_mats : (ne, 30, 30) effective element matrices (already
+        Dirichlet-constrained; see
+        :func:`repro.fem.assembly.apply_dirichlet_to_elements`).
+    elems : (ne, 10) TET10 connectivity.
+    n_nodes : global node count.
+    tag : base kernel tag; the actual charge is ``f"{tag}{r}"`` so
+        single- and multi-RHS sweeps are distinguishable
+        (``spmv.ebe1``, ``spmv.ebe4``, ...).
+    """
+
+    def __init__(
+        self,
+        elem_mats: np.ndarray,
+        elems: np.ndarray,
+        n_nodes: int,
+        tag: str = "spmv.ebe",
+    ) -> None:
+        elem_mats = np.asarray(elem_mats, dtype=float)
+        ne, nd, nd2 = elem_mats.shape
+        if nd != nd2 or nd != 3 * elems.shape[1]:
+            raise ValueError("element matrices inconsistent with connectivity")
+        self.Ae = elem_mats
+        self.elems = np.asarray(elems, dtype=np.int64)
+        self.n_nodes = int(n_nodes)
+        self.tag = tag
+        self._dof = element_dof_ids(self.elems)  # (ne, 30)
+        self._dof_flat = self._dof.ravel()
+        if self._dof.max() >= 3 * n_nodes:
+            raise ValueError("connectivity references nodes beyond n_nodes")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        n = 3 * self.n_nodes
+        return (n, n)
+
+    @property
+    def n(self) -> int:
+        return 3 * self.n_nodes
+
+    @property
+    def n_elems(self) -> int:
+        return int(self.elems.shape[0])
+
+    def memory_bytes(self) -> int:
+        """Device footprint of the matrix-free kernel: connectivity +
+        nodal coordinates + material, *not* the element matrices (the
+        modeled kernel recomputes them; this is the paper's memory
+        saving that allows 2 x 4 concurrent cases)."""
+        return int(self.elems.nbytes // 2 + 24 * self.n_nodes + 16 * self.n_elems)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply to ``(n,)`` or fused ``(n, r)`` vectors."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        X = x[:, None] if single else x
+        n, r = X.shape
+        if n != self.n:
+            raise ValueError(f"operand size {n} != {self.n}")
+
+        xe = X[self._dof]  # (ne, 30, r) gather
+        ye = np.einsum("eij,ejr->eir", self.Ae, xe, optimize=True)
+        Y = np.empty_like(X)
+        flat = self._dof_flat
+        for k in range(r):
+            Y[:, k] = np.bincount(flat, weights=ye[:, :, k].ravel(), minlength=n)
+
+        w = ebe_traffic(self.n_elems, self.n_nodes, n_rhs=r)
+        counters.charge(f"{self.tag}{r}", w.flops * r, w.bytes * r)
+        return Y[:, 0] if single else Y
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal_blocks(self) -> np.ndarray:
+        """Assembled 3x3 diagonal blocks (for block-Jacobi), computed
+        without forming the global matrix."""
+        nb = self.n_nodes
+        out = np.zeros((nb, 3, 3))
+        ne, na = self.elems.shape
+        # element-local diagonal blocks: (ne, na, 3, 3)
+        idx = 3 * np.arange(na)
+        for i in range(3):
+            for j in range(3):
+                vals = self.Ae[:, idx + i, :][:, np.arange(na), idx + j]  # (ne, na)
+                np.add.at(out[:, i, j], self.elems.ravel(), vals.ravel())
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Assemble densely (tests only; small meshes)."""
+        n = self.n
+        A = np.zeros((n, n))
+        for e in range(self.n_elems):
+            d = self._dof[e]
+            A[np.ix_(d, d)] += self.Ae[e]
+        return A

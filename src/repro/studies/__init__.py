@@ -1,0 +1,32 @@
+"""Design studies on top of the core library.
+
+* :mod:`~repro.studies.sensitivity` — the paper's stated future work
+  (§4): "understand sensitivities to the relevant architectural
+  features, e.g., CPU memory, CPU-GPU bandwidth, and GPU throughput".
+  Characterizes a real workload once, then sweeps modeled hardware
+  parameters.
+* :mod:`~repro.studies.ablation` — predictor design ablations: what
+  each ingredient (Adams-Bashforth base, MGS correction, force input,
+  subdomain split, history length) buys in solver iterations.
+"""
+
+from repro.studies.sensitivity import (
+    SensitivityPoint,
+    StepProfile,
+    characterize_pipeline,
+    modeled_step_time,
+    scaled_module,
+    sweep_parameter,
+)
+from repro.studies.ablation import PredictorAblation, run_predictor_ablation
+
+__all__ = [
+    "StepProfile",
+    "SensitivityPoint",
+    "characterize_pipeline",
+    "modeled_step_time",
+    "scaled_module",
+    "sweep_parameter",
+    "PredictorAblation",
+    "run_predictor_ablation",
+]

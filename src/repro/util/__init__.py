@@ -1,0 +1,21 @@
+"""Shared utilities: instrumentation counters, deterministic RNG, timelines.
+
+Everything in :mod:`repro` that claims a FLOP or byte count routes it
+through :class:`~repro.util.counters.KernelTally` so the hardware cost
+model (:mod:`repro.hardware`) can convert algorithmic work into modeled
+wall-clock time and energy.
+"""
+
+from repro.util.counters import KernelRecord, KernelTally, tally_scope
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.timeline import Interval, Timeline
+
+__all__ = [
+    "KernelRecord",
+    "KernelTally",
+    "tally_scope",
+    "make_rng",
+    "spawn_rngs",
+    "Interval",
+    "Timeline",
+]

@@ -1,0 +1,101 @@
+"""Simulated execution timeline.
+
+The heterogeneous pipeline (paper Algorithms 3 & 4) overlaps
+predictor@CPU with solver@GPU.  Because this reproduction executes both
+on the host, overlap is *accounted* rather than physically concurrent:
+each resource (``"cpu"``, ``"gpu"``, ``"c2c"``, ``"nic"``) is a lane on
+a :class:`Timeline`, work is appended with modeled durations, and lane
+cursors advance independently.  Synchronization points align lanes, so
+the resulting makespan is exactly what a real two-process schedule
+would yield under the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One scheduled occupancy of a resource lane."""
+
+    resource: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Multi-lane schedule with per-resource cursors."""
+
+    intervals: list[Interval] = field(default_factory=list)
+    _cursors: dict[str, float] = field(default_factory=dict)
+
+    def now(self, resource: str) -> float:
+        return self._cursors.get(resource, 0.0)
+
+    def schedule(self, resource: str, label: str, duration: float,
+                 not_before: float = 0.0) -> Interval:
+        """Append ``duration`` seconds of ``label`` work on ``resource``.
+
+        The work starts at the lane cursor or ``not_before``, whichever
+        is later (``not_before`` expresses a dependency on another lane).
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration for {label!r}: {duration}")
+        start = max(self._cursors.get(resource, 0.0), not_before)
+        iv = Interval(resource, label, start, start + duration)
+        self.intervals.append(iv)
+        self._cursors[resource] = iv.end
+        return iv
+
+    def barrier(self, resources: list[str], at_least: float = 0.0) -> float:
+        """Align the cursors of ``resources`` to their common maximum.
+
+        Models a process-synchronization point (paper Algorithm 3,
+        "process synchronization" lines).  Returns the sync time.
+        """
+        t = max([self._cursors.get(r, 0.0) for r in resources] + [at_least])
+        for r in resources:
+            self._cursors[r] = t
+        return t
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        """Total occupied seconds on one lane (intervals never overlap
+        within a lane by construction)."""
+        return sum(iv.duration for iv in self.intervals if iv.resource == resource)
+
+    def busy_time_by_label(self, resource: str) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for iv in self.intervals:
+            if iv.resource == resource:
+                out[iv.label] = out.get(iv.label, 0.0) + iv.duration
+        return out
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of a lane over the full makespan."""
+        m = self.makespan
+        return self.busy_time(resource) / m if m > 0 else 0.0
+
+    def validate(self) -> None:
+        """Check the no-overlap invariant within every lane."""
+        by_res: dict[str, list[Interval]] = {}
+        for iv in self.intervals:
+            by_res.setdefault(iv.resource, []).append(iv)
+        for res, ivs in by_res.items():
+            ivs = sorted(ivs, key=lambda i: i.start)
+            for a, b in zip(ivs, ivs[1:]):
+                if b.start < a.end - 1e-12:
+                    raise AssertionError(
+                        f"overlap on lane {res!r}: {a.label}[{a.start},{a.end}] vs "
+                        f"{b.label}[{b.start},{b.end}]"
+                    )

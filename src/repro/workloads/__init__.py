@@ -1,0 +1,21 @@
+"""Ready-made workloads: the paper's three ground-structure models."""
+
+from repro.workloads.ground import (
+    GROUND_MODELS,
+    GroundModel,
+    basin_model,
+    build_ground_problem,
+    slanted_model,
+    stratified_model,
+    suggested_dt,
+)
+
+__all__ = [
+    "GroundModel",
+    "GROUND_MODELS",
+    "stratified_model",
+    "basin_model",
+    "slanted_model",
+    "build_ground_problem",
+    "suggested_dt",
+]

@@ -1,0 +1,87 @@
+"""Frequency domain decomposition on synthetic signals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fdd import dominant_frequencies, fdd_first_singular, welch_psd
+from repro.analysis.metrics import rel_l2, rel_linf
+
+
+def synthetic(fs=100.0, nt=4096, freqs=(3.0, 7.0), ncases=4, nchan=3, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(nt) / fs
+    x = np.zeros((ncases, nchan, nt))
+    for c in range(ncases):
+        for ch in range(nchan):
+            f = freqs[ch % len(freqs)]
+            x[c, ch] = np.sin(2 * np.pi * f * t + rng.uniform(0, 2 * np.pi))
+            x[c, ch] += 0.1 * rng.standard_normal(nt)
+    return x
+
+
+def test_welch_psd_finds_tone():
+    fs = 100.0
+    x = synthetic(fs=fs, nchan=1, freqs=(5.0,))
+    freqs, psd = welch_psd(x[:, 0], fs, nperseg=512)
+    peak = freqs[np.argmax(psd.mean(axis=0))]
+    assert peak == pytest.approx(5.0, abs=fs / 512 * 1.5)
+
+
+def test_welch_psd_parseval():
+    """PSD integrates to ~ signal variance (Welch is asymptotically
+    unbiased for stationary noise)."""
+    rng = np.random.default_rng(1)
+    fs = 50.0
+    x = rng.standard_normal(16384)
+    freqs, psd = welch_psd(x, fs, nperseg=1024)
+    power = np.trapezoid(psd, freqs)
+    assert power == pytest.approx(1.0, rel=0.15)
+
+
+def test_dominant_frequencies_per_channel():
+    x = synthetic(freqs=(3.0, 7.0), nchan=2)
+    doms = dominant_frequencies(x, fs=100.0, nperseg=1024)
+    assert doms[0] == pytest.approx(3.0, abs=0.2)
+    assert doms[1] == pytest.approx(7.0, abs=0.2)
+
+
+def test_dominant_frequencies_band_restriction():
+    x = synthetic(freqs=(3.0, 7.0), nchan=2)
+    doms = dominant_frequencies(x, fs=100.0, nperseg=1024, band=(5.0, 10.0))
+    assert np.all(doms >= 5.0)
+
+
+def test_dominant_frequencies_never_dc():
+    rng = np.random.default_rng(2)
+    x = 5.0 + 0.01 * rng.standard_normal((1, 2, 2048))  # huge DC offset
+    doms = dominant_frequencies(x, fs=10.0, nperseg=256)
+    assert np.all(doms > 0)
+
+
+def test_fdd_first_singular_peaks_at_mode():
+    fs = 100.0
+    x = synthetic(fs=fs, freqs=(4.0,), nchan=4, ncases=8)
+    freqs, sv1 = fdd_first_singular(x, fs, nperseg=1024)
+    assert freqs[np.argmax(sv1)] == pytest.approx(4.0, abs=0.2)
+
+
+def test_fdd_accepts_2d_input():
+    x = synthetic(ncases=1)[0]
+    freqs, sv1 = fdd_first_singular(x, 100.0, nperseg=512)
+    assert sv1.shape == freqs.shape
+    assert np.all(sv1 >= 0)
+
+
+def test_empty_band_raises():
+    x = synthetic()
+    with pytest.raises(ValueError):
+        dominant_frequencies(x, fs=100.0, band=(1000.0, 2000.0))
+
+
+def test_metrics():
+    a = np.array([1.0, 2.0])
+    assert rel_l2(a, a) == 0.0
+    assert rel_linf(a, a) == 0.0
+    assert rel_l2(np.zeros(2), np.zeros(2)) == 0.0
+    assert rel_l2(a, np.zeros(2)) == float("inf")
+    assert rel_l2(2 * a, a) == pytest.approx(1.0)

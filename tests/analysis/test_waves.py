@@ -1,0 +1,90 @@
+"""Random impulse inputs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waves import (
+    BandlimitedImpulse,
+    ImpulseForce,
+    random_impulse_pattern,
+    ricker,
+)
+
+
+def test_pattern_deterministic(small_mesh):
+    f1 = random_impulse_pattern(small_mesh, rng=3)
+    f2 = random_impulse_pattern(small_mesh, rng=3)
+    np.testing.assert_array_equal(f1, f2)
+
+
+def test_pattern_different_seeds_differ(small_mesh):
+    f1 = random_impulse_pattern(small_mesh, rng=1)
+    f2 = random_impulse_pattern(small_mesh, rng=2)
+    assert not np.allclose(f1, f2)
+
+
+def test_pattern_supported_on_surface_only(small_mesh):
+    f = random_impulse_pattern(small_mesh, rng=0)
+    surf = set(small_mesh.surface_nodes())
+    nz_nodes = set(np.flatnonzero(f.reshape(-1, 3).any(axis=1)))
+    assert nz_nodes <= surf
+    assert nz_nodes  # not empty
+
+
+def test_n_points_respected(small_mesh):
+    f = random_impulse_pattern(small_mesh, rng=0, n_points=3)
+    nz_nodes = np.flatnonzero(f.reshape(-1, 3).any(axis=1))
+    assert len(nz_nodes) == 3
+
+
+def test_amplitude_scaling(small_mesh):
+    f1 = random_impulse_pattern(small_mesh, rng=0, amplitude=1.0)
+    f2 = random_impulse_pattern(small_mesh, rng=0, amplitude=10.0)
+    np.testing.assert_allclose(f2, 10 * f1, rtol=1e-12)
+
+
+def test_impulse_force_timing(small_mesh):
+    imp = ImpulseForce.random(small_mesh, rng=0, impulse_step=3)
+    assert np.abs(imp(2)).max() == 0.0
+    assert np.abs(imp(3)).max() > 0.0
+    assert np.abs(imp(4)).max() == 0.0
+
+
+def test_ricker_peak_at_onset():
+    assert ricker(1.0, f0=2.0, t0=1.0) == pytest.approx(1.0)
+    assert abs(ricker(100.0, f0=2.0, t0=1.0)) < 1e-12
+
+
+def test_ricker_spectrum_band_limited():
+    """Energy above ~3 f0 must be negligible (that's the point)."""
+    f0, dt = 2.0, 0.01
+    t = np.arange(4096) * dt
+    w = ricker(t, f0, t0=2.0)
+    spec = np.abs(np.fft.rfft(w))
+    freqs = np.fft.rfftfreq(t.size, dt)
+    high = spec[freqs > 3 * f0].max()
+    assert high < 5e-3 * spec.max()
+
+
+def test_bandlimited_impulse_quiet_after(small_mesh):
+    b = BandlimitedImpulse.random(small_mesh, dt=0.01, rng=0)
+    it_quiet = b.quiet_after_step
+    assert np.abs(b(it_quiet + 50)).max() < 1e-6 * np.abs(b.pattern).max()
+
+
+def test_bandlimited_default_frequency(small_mesh):
+    dt = 0.02
+    b = BandlimitedImpulse.random(small_mesh, dt=dt, rng=0)
+    # omega dt ~ 0.3 by default
+    assert 2 * np.pi * b.f0 * dt == pytest.approx(0.3, rel=1e-12)
+
+
+def test_empty_surface_error():
+    from repro.fem.mesh import Tet10Mesh
+
+    mesh = Tet10Mesh(
+        nodes=np.zeros((0, 3)), elems=np.zeros((0, 10), dtype=np.int64),
+        n_corner_nodes=0,
+    )
+    with pytest.raises(ValueError):
+        random_impulse_pattern(mesh, rng=0)

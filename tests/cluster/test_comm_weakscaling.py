@@ -1,0 +1,136 @@
+"""Communication cost model and the Fig. 5 weak-scaling curve."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waves import BandlimitedImpulse
+from repro.cluster.comm import CommCostModel
+from repro.cluster.weakscaling import (
+    WeakScalingPoint,
+    _neighbor_faces,
+    tile_halo_bytes,
+    weak_scaling_curve,
+)
+from repro.core.methods import run_method
+from repro.hardware.specs import ALPS_MODULE
+from repro.hardware.transfer import TransferModel
+
+
+@pytest.fixture(scope="module")
+def link():
+    return CommCostModel(TransferModel.nic(ALPS_MODULE))
+
+
+def test_halo_time_zero_without_neighbors(link):
+    assert link.halo_time([]) == 0.0
+
+
+def test_halo_time_grows_with_volume(link):
+    assert link.halo_time([1e6]) < link.halo_time([1e6, 1e6])
+
+
+def test_allreduce_log_depth(link):
+    t2 = link.allreduce_time(8, 2)
+    t1024 = link.allreduce_time(8, 1024)
+    assert t1024 == pytest.approx(10 * t2)
+    assert link.allreduce_time(8, 1) == 0.0
+
+
+def test_cg_overhead_composition(link):
+    halo = [1e5, 1e5]
+    total = link.cg_iteration_overhead(halo, nparts=16)
+    assert total == pytest.approx(
+        link.halo_time(halo) + 2 * link.allreduce_time(8, 16)
+    )
+
+
+def test_neighbor_saturation():
+    assert _neighbor_faces(1) == 0
+    assert _neighbor_faces(2) == 1
+    assert _neighbor_faces(4) == 2
+    assert _neighbor_faces(64) == 4
+    assert _neighbor_faces(1920) == 4
+
+
+def test_tile_halo_bytes():
+    assert tile_halo_bytes(100, n_rhs=4) == 8 * 3 * 100 * 4
+
+
+@pytest.fixture(scope="module")
+def tile_run(ground_problem):
+    forces = [
+        BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=i, amplitude=1e6)
+        for i in range(4)
+    ]
+    return run_method(
+        ground_problem,
+        forces,
+        nt=8,
+        method="ebe-mcg@cpu-gpu",
+        module=ALPS_MODULE,
+        s_range=(2, 6),
+    )
+
+
+def test_weak_scaling_curve_shape(tile_run, ground_problem):
+    mesh = ground_problem.mesh
+    face_nodes = int((np.abs(mesh.nodes[:, 0]) < 1e-9).sum())
+    nodes = [1, 2, 4, 16, 128, 1920]
+    pts = weak_scaling_curve(tile_run, nodes, face_nodes, window=(2, 8))
+    assert [p.n_nodes for p in pts] == nodes
+    # elapsed grows monotonically (comm only adds), efficiency falls
+    times = [p.elapsed_per_step for p in pts]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    effs = [p.efficiency for p in pts]
+    assert effs[0] == 1.0
+    assert all(0 < e <= 1 for e in effs)
+
+
+def test_weak_scaling_paper_scale_efficiency():
+    """With the paper's per-tile numbers (0.455 s solver step, ~70
+    iterations, ~70k-node tile faces) the model must land near the
+    measured 94.3 % at 1,920 nodes.  At toy tile sizes comm dominates
+    — that is physics, not a model bug — so the paper check uses a
+    synthetic paper-scale tile."""
+    from repro.core.results import RunResult, StepRecord
+    from repro.util.timeline import Timeline
+
+    records = [
+        StepRecord(
+            step=i,
+            iterations=np.full(8, 70.4),
+            t_solver=0.455 * 8,
+            t_predictor=0.16 * 8,
+            t_transfer=0.01,
+            t_step=0.47 * 8,
+            s_used=11,
+        )
+        for i in range(1, 11)
+    ]
+    tile = RunResult(
+        method="ebe-mcg@cpu-gpu",
+        module_name="Alps-GH200-NVL4-module",
+        n_cases=8,
+        n_dofs=46_529_709,
+        records=records,
+        timeline=Timeline(),
+        cpu_memory_bytes=0,
+        gpu_memory_bytes=0,
+    )
+    pts = weak_scaling_curve(tile, [1, 1920], face_nodes=70_000)
+    assert pts[-1].efficiency > 0.85
+    assert pts[-1].efficiency < 1.0
+
+
+def test_weak_scaling_comm_component(tile_run, ground_problem):
+    mesh = ground_problem.mesh
+    face_nodes = int((np.abs(mesh.nodes[:, 0]) < 1e-9).sum())
+    pts = weak_scaling_curve(tile_run, [1, 1920], face_nodes, window=(2, 8))
+    assert pts[0].comm_per_step == 0.0
+    assert pts[1].comm_per_step > 0.0
+
+
+def test_point_is_frozen():
+    p = WeakScalingPoint(1, 1.0, 1.0, 0.0)
+    with pytest.raises(Exception):
+        p.n_nodes = 2

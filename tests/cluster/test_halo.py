@@ -1,0 +1,87 @@
+"""Halo exchange plan and distributed EBE correctness."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.halo import DistributedEBE, build_halo_plan
+from repro.cluster.partition import PartitionInfo, partition_elements
+from repro.util.counters import tally_scope
+
+
+@pytest.fixture(scope="module")
+def dist(ground_problem):
+    info = PartitionInfo(
+        ground_problem.mesh, partition_elements(ground_problem.mesh, 4)
+    )
+    return ground_problem, info, DistributedEBE.from_elements(ground_problem.Ae, info)
+
+
+def test_matvec_exact(dist, rng):
+    problem, _, d = dist
+    x = rng.standard_normal(problem.n_dofs)
+    y_ref = problem.ebe_operator() @ x
+    y = d @ x
+    np.testing.assert_allclose(y, y_ref, rtol=1e-12, atol=1e-12 * np.abs(y_ref).max())
+
+
+def test_matvec_block_exact(dist, rng):
+    problem, _, d = dist
+    X = rng.standard_normal((problem.n_dofs, 3))
+    Y_ref = problem.ebe_operator().matvec(X)
+    np.testing.assert_allclose(
+        d.matvec(X), Y_ref, rtol=1e-12, atol=1e-12 * np.abs(Y_ref).max()
+    )
+
+
+def test_diagonal_blocks_consistent(dist):
+    problem, _, d = dist
+    ref = problem.ebe_operator().diagonal_blocks()
+    got = d.diagonal_blocks()
+    np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10 * np.abs(ref).max())
+
+
+def test_comm_bytes_charged(dist, rng):
+    problem, _, d = dist
+    with tally_scope() as t:
+        d @ rng.standard_normal(problem.n_dofs)
+    assert t.total_bytes("halo.exchange") == pytest.approx(d.comm_bytes_per_matvec)
+
+
+def test_plan_symmetry(dist):
+    _, info, _ = dist
+    plan = build_halo_plan(info)
+    for (p, q), nodes in plan.pair_nodes.items():
+        assert p < q
+        assert nodes.size > 0
+        # shared nodes really are touched by both parts
+        assert set(nodes) <= set(info.part_nodes[p])
+        assert set(nodes) <= set(info.part_nodes[q])
+
+
+def test_plan_neighbor_lists(dist):
+    _, info, _ = dist
+    plan = build_halo_plan(info)
+    for p in range(plan.nparts):
+        for q in plan.neighbors(p):
+            assert p in plan.neighbors(q)
+    assert plan.max_bytes_per_exchange() > 0
+
+
+def test_single_part_no_comm(ground_problem):
+    info = PartitionInfo(
+        ground_problem.mesh, partition_elements(ground_problem.mesh, 1)
+    )
+    d = DistributedEBE.from_elements(ground_problem.Ae, info)
+    assert d.comm_bytes_per_matvec == 0.0
+    plan = build_halo_plan(info)
+    assert plan.max_bytes_per_exchange() == 0.0
+
+
+def test_more_parts_more_comm(ground_problem):
+    def comm(nparts):
+        info = PartitionInfo(
+            ground_problem.mesh, partition_elements(ground_problem.mesh, nparts)
+        )
+        return DistributedEBE.from_elements(ground_problem.Ae, info).comm_bytes_per_matvec
+
+    assert comm(2) < comm(8)

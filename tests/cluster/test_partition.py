@@ -1,0 +1,72 @@
+"""Recursive coordinate bisection partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.partition import (
+    PartitionInfo,
+    element_adjacency_graph,
+    partition_elements,
+)
+
+
+@pytest.mark.parametrize("nparts", [1, 2, 3, 4, 7, 8])
+def test_all_parts_populated_and_balanced(small_mesh, nparts):
+    part = partition_elements(small_mesh, nparts)
+    sizes = np.bincount(part, minlength=nparts)
+    assert (sizes > 0).all()
+    assert sizes.max() / sizes.mean() < 1.5
+
+
+def test_deterministic(small_mesh):
+    p1 = partition_elements(small_mesh, 4)
+    p2 = partition_elements(small_mesh, 4)
+    np.testing.assert_array_equal(p1, p2)
+
+
+def test_single_part(small_mesh):
+    part = partition_elements(small_mesh, 1)
+    assert (part == 0).all()
+
+
+def test_spatial_compactness(small_mesh):
+    """Two parts should split along the longest axis (x or y here)."""
+    part = partition_elements(small_mesh, 2)
+    c = small_mesh.element_centroids()
+    # the two parts' centroid clouds must be separable along some axis
+    sep = False
+    for ax in range(3):
+        if c[part == 0, ax].max() <= c[part == 1, ax].min() + 1e-9 or (
+            c[part == 1, ax].max() <= c[part == 0, ax].min() + 1e-9
+        ):
+            sep = True
+    assert sep
+
+
+def test_validation(small_mesh):
+    with pytest.raises(ValueError):
+        partition_elements(small_mesh, 0)
+    with pytest.raises(ValueError):
+        partition_elements(small_mesh, small_mesh.n_elems + 1)
+
+
+def test_partition_info(small_mesh):
+    info = PartitionInfo(small_mesh, partition_elements(small_mesh, 4))
+    assert info.nparts == 4
+    assert info.balance() >= 1.0
+    assert 0 < info.surface_fraction() < 1
+    # every node belongs to at least one part
+    assert (info.node_multiplicity >= 1).all()
+    # shared nodes are exactly multiplicity >= 2
+    assert (info.node_multiplicity[info.shared_nodes] >= 2).all()
+
+
+def test_adjacency_graph(tiny_mesh):
+    g = element_adjacency_graph(tiny_mesh)
+    assert g.number_of_nodes() == tiny_mesh.n_elems
+    # interior faces: each element has <= 4 neighbours
+    degrees = [d for _, d in g.degree()]
+    assert max(degrees) <= 4
+    import networkx as nx
+
+    assert nx.is_connected(g)

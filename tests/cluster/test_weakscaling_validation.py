@@ -1,0 +1,67 @@
+"""Weak-scaling model edge cases and parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import RunResult, StepRecord
+from repro.cluster.weakscaling import tile_halo_bytes, weak_scaling_curve
+from repro.util.timeline import Timeline
+
+
+def _tile(t_step=1.0, iters=50.0, n_cases=8):
+    records = [
+        StepRecord(
+            step=i,
+            iterations=np.full(n_cases, iters),
+            t_solver=t_step * 0.9,
+            t_predictor=t_step * 0.3,
+            t_transfer=0.0,
+            t_step=t_step,
+            s_used=8,
+        )
+        for i in range(1, 6)
+    ]
+    return RunResult(
+        method="ebe-mcg@cpu-gpu", module_name="alps", n_cases=n_cases,
+        n_dofs=1_000_000, records=records, timeline=Timeline(),
+        cpu_memory_bytes=0, gpu_memory_bytes=0,
+    )
+
+
+def test_overlap_fraction_validation():
+    with pytest.raises(ValueError):
+        weak_scaling_curve(_tile(), [1, 2], 100, overlap_fraction=1.0)
+    with pytest.raises(ValueError):
+        weak_scaling_curve(_tile(), [1, 2], 100, overlap_fraction=-0.1)
+
+
+def test_more_overlap_means_better_scaling():
+    lo = weak_scaling_curve(_tile(), [1, 1920], 50_000, overlap_fraction=0.0)
+    hi = weak_scaling_curve(_tile(), [1, 1920], 50_000, overlap_fraction=0.9)
+    assert hi[-1].efficiency > lo[-1].efficiency
+
+
+def test_single_node_is_baseline():
+    pts = weak_scaling_curve(_tile(t_step=2.0), [1], 100)
+    assert pts[0].efficiency == 1.0
+    assert pts[0].comm_per_step == 0.0
+    # 5 steps of t_step=2.0 across 8 cases -> elapsed/step = 2.0
+    assert pts[0].elapsed_per_step == pytest.approx(2.0)
+
+
+def test_efficiency_scales_with_iterations():
+    """More CG iterations -> more per-step comm -> lower efficiency."""
+    few = weak_scaling_curve(_tile(iters=20), [1, 1920], 50_000)
+    many = weak_scaling_curve(_tile(iters=200), [1, 1920], 50_000)
+    assert many[-1].efficiency < few[-1].efficiency
+
+
+def test_bigger_faces_cost_more():
+    small = weak_scaling_curve(_tile(), [1, 64], 1_000)
+    big = weak_scaling_curve(_tile(), [1, 64], 1_000_000)
+    assert big[-1].comm_per_step > small[-1].comm_per_step
+
+
+def test_halo_bytes_formula():
+    assert tile_halo_bytes(0) == 0.0
+    assert tile_halo_bytes(10, n_rhs=1) == 240.0

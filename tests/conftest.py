@@ -1,0 +1,54 @@
+"""Shared fixtures: small meshes/problems reused across the suite.
+
+Session-scoped where construction is expensive; tests must not mutate
+them (mutating tests build their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ElasticProblem, build_problem
+from repro.fem.mesh import Tet10Mesh, structured_box
+from repro.workloads.ground import stratified_model
+
+
+@pytest.fixture(scope="session")
+def small_mesh() -> Tet10Mesh:
+    """3x3x2-cell TET10 box (108 elements, 735 dofs)."""
+    return structured_box(3, 3, 2, 1.0, 1.0, 0.7)
+
+
+@pytest.fixture(scope="session")
+def tiny_mesh() -> Tet10Mesh:
+    """2x2x1-cell TET10 box — the smallest usable 3D mesh."""
+    return structured_box(2, 2, 1, 1.0, 1.0, 0.5)
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_mesh: Tet10Mesh) -> ElasticProblem:
+    """Homogeneous elasticity problem on the small mesh."""
+    ne = small_mesh.n_elems
+    return build_problem(
+        small_mesh,
+        rho=np.full(ne, 2000.0),
+        vp=np.full(ne, 400.0),
+        vs=np.full(ne, 200.0),
+        dt=0.002,
+        damping_ratio=0.02,
+        damping_band=(0.5, 5.0),
+    )
+
+
+@pytest.fixture(scope="session")
+def ground_problem() -> ElasticProblem:
+    """Small stratified ground workload (the paper's model a)."""
+    from repro.workloads.ground import build_ground_problem
+
+    return build_ground_problem(stratified_model(), resolution=(4, 4, 2))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

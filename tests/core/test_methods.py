@@ -1,0 +1,154 @@
+"""The four method drivers: orderings the paper's tables guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waves import BandlimitedImpulse
+from repro.core.methods import METHODS, estimate_memory, run_method
+from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+
+
+@pytest.fixture(scope="module")
+def runs(ground_problem):
+    """One short run per method on the shared ground problem."""
+    problem = ground_problem
+    forces = [
+        BandlimitedImpulse.random(problem.mesh, problem.dt, rng=i, amplitude=1e6)
+        for i in range(4)
+    ]
+    out = {}
+    out["crs-cg@cpu"] = run_method(problem, forces[:1], nt=10, method="crs-cg@cpu")
+    out["crs-cg@gpu"] = run_method(problem, forces[:1], nt=10, method="crs-cg@gpu")
+    out["crs-cg@cpu-gpu"] = run_method(
+        problem, forces[:2], nt=10, method="crs-cg@cpu-gpu", s_range=(2, 8)
+    )
+    out["ebe-mcg@cpu-gpu"] = run_method(
+        problem, forces, nt=10, method="ebe-mcg@cpu-gpu", s_range=(2, 8)
+    )
+    return out
+
+
+def test_all_methods_run(runs):
+    for m in METHODS:
+        assert runs[m].records, m
+        assert runs[m].method == m
+
+
+def test_gpu_faster_than_cpu(runs):
+    """Table 3 row ordering: CRS-CG@GPU beats CRS-CG@CPU by roughly the
+    bandwidth ratio (paper: 9.96x)."""
+    t_cpu = runs["crs-cg@cpu"].elapsed_per_step_per_case((3, 10))
+    t_gpu = runs["crs-cg@gpu"].elapsed_per_step_per_case((3, 10))
+    assert 4 < t_cpu / t_gpu < 20
+
+
+def test_heterogeneous_beats_gpu_baseline(runs):
+    t_gpu = runs["crs-cg@gpu"].elapsed_per_step_per_case((3, 10))
+    t_ebe = runs["ebe-mcg@cpu-gpu"].elapsed_per_step_per_case((3, 10))
+    assert t_ebe < t_gpu
+
+
+def test_scale_robust_ordering(runs):
+    """Orderings that hold at any problem size: ebe-mcg fastest,
+    CPU baseline slowest.  (The crs-cg@cpu-gpu vs crs-cg@gpu crossover
+    depends on solve time amortizing the C2C latency — it appears at
+    bench scale and is asserted by the Table 3 benchmark, not here.)"""
+    e = {m: runs[m].elapsed_per_step_per_case((3, 10)) for m in METHODS}
+    assert e["ebe-mcg@cpu-gpu"] < e["crs-cg@gpu"] < e["crs-cg@cpu"]
+    assert e["ebe-mcg@cpu-gpu"] < e["crs-cg@cpu-gpu"] < e["crs-cg@cpu"]
+
+
+def test_datadriven_methods_reduce_iterations(runs):
+    """Both heterogeneous methods must need fewer CG iterations per
+    step than the Adams-Bashforth baselines (Fig. 3 / Table 3)."""
+    base = runs["crs-cg@gpu"].iterations_per_step((5, 10))
+    assert runs["crs-cg@cpu-gpu"].iterations_per_step((5, 10)) < base
+    assert runs["ebe-mcg@cpu-gpu"].iterations_per_step((5, 10)) < base
+
+
+def test_energy_ordering(runs):
+    """Table 3 energy column: heterogeneous methods cut J/step/case."""
+    j = {m: runs[m].energy_per_step_per_case((3, 10)) for m in METHODS}
+    assert j["ebe-mcg@cpu-gpu"] < j["crs-cg@gpu"] < j["crs-cg@cpu"]
+
+
+def test_solver_iterations_comparable_across_methods(runs):
+    """All methods solve the same physics to the same eps; baseline
+    iteration counts must agree between CPU and GPU variants."""
+    i_cpu = runs["crs-cg@cpu"].iterations_per_step()
+    i_gpu = runs["crs-cg@gpu"].iterations_per_step()
+    assert i_cpu == pytest.approx(i_gpu, rel=1e-12)
+
+
+def test_memory_estimates(ground_problem):
+    cpu_b, gpu_b = estimate_memory(ground_problem, "crs-cg@cpu", 1)
+    assert gpu_b == 0 and cpu_b > 0
+    cpu_g, gpu_g = estimate_memory(ground_problem, "crs-cg@gpu", 1)
+    assert gpu_g > 0
+    cpu_e, gpu_e = estimate_memory(ground_problem, "ebe-mcg@cpu-gpu", 8, s_max=32)
+    cpu_c, gpu_c = estimate_memory(ground_problem, "crs-cg@cpu-gpu", 2, s_max=32)
+    # EBE footprint on GPU per case is far below CRS (the paper's
+    # reason 8 cases fit at once)
+    assert gpu_e / 8 < gpu_c / 2
+    # the data-driven history dominates CPU memory (paper: 340 GB)
+    assert cpu_e > cpu_b
+
+
+def test_unknown_method_rejected(ground_problem):
+    with pytest.raises(ValueError):
+        run_method(ground_problem, [lambda it: 0], nt=1, method="magic")
+    with pytest.raises(ValueError):
+        estimate_memory(ground_problem, "magic", 1)
+
+
+def test_heterogeneous_needs_even_cases(ground_problem):
+    f = BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=0)
+    with pytest.raises(ValueError):
+        run_method(ground_problem, [f, f, f], nt=1, method="ebe-mcg@cpu-gpu")
+
+
+def test_alps_thread_sweep(ground_problem):
+    """Table 4: fewer predictor threads -> faster overall on Alps
+    (power-cap relief outweighs slower prediction) as long as the
+    predictor stays hidden."""
+    forces = [
+        BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=50 + i, amplitude=1e6)
+        for i in range(4)
+    ]
+    res = {}
+    for threads in (36, 16):
+        res[threads] = run_method(
+            ground_problem,
+            forces,
+            nt=8,
+            method="ebe-mcg@cpu-gpu",
+            module=ALPS_MODULE,
+            s_range=(2, 6),
+            cpu_threads=threads,
+        )
+    t36 = res[36].elapsed_per_step_per_case((2, 8))
+    t16 = res[16].elapsed_per_step_per_case((2, 8))
+    p36 = res[36].predictor_time_per_step_per_case((2, 8))
+    p16 = res[16].predictor_time_per_step_per_case((2, 8))
+    assert p16 > p36  # prediction slows down with fewer threads
+    assert t16 < t36  # but the step gets faster (GPU un-throttled)
+
+
+def test_waveform_recording(ground_problem):
+    f = [BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=9, amplitude=1e6)]
+    dofs = np.array([3, 4, 5])
+    res = run_method(ground_problem, f, nt=6, method="crs-cg@cpu", waveform_dofs=dofs)
+    assert res.waveforms is not None
+
+
+def test_summary_keys(runs):
+    s = runs["ebe-mcg@cpu-gpu"].summary()
+    for key in (
+        "elapsed_per_step_per_case_s",
+        "iterations_per_step",
+        "module_power_W",
+        "energy_per_step_per_case_J",
+        "cpu_memory_GB",
+        "gpu_memory_GB",
+    ):
+        assert key in s

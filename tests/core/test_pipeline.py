@@ -1,0 +1,144 @@
+"""Heterogeneous pipeline: accuracy guarantee and schedule invariants."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waves import BandlimitedImpulse
+from repro.core.pipeline import CaseSet, HeterogeneousPipeline
+from repro.hardware.power import PowerModel
+from repro.hardware.roofline import DeviceModel
+from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+from repro.hardware.transfer import TransferModel
+from repro.predictor.adaptive import AdaptiveSController
+from repro.predictor.datadriven import DataDrivenPredictor
+
+
+def make_forces(problem, n, seed0=0):
+    return [
+        BandlimitedImpulse.random(problem.mesh, problem.dt, rng=seed0 + i, amplitude=1e6)
+        for i in range(n)
+    ]
+
+
+def make_set(problem, forces, s=6):
+    preds = [
+        DataDrivenPredictor(problem.n_dofs, problem.dt, s_max=8, n_regions=4, s=s)
+        for _ in forces
+    ]
+    return CaseSet(problem, forces=forces, predictors=preds, op_kind="ebe", eps=1e-8)
+
+
+def make_pipeline(problem, forces, module=SINGLE_GH200, controller=None):
+    r = len(forces) // 2
+    return HeterogeneousPipeline(
+        set_a=make_set(problem, forces[:r]),
+        set_b=make_set(problem, forces[r:]),
+        cpu=DeviceModel(module.cpu),
+        gpu=DeviceModel(module.gpu),
+        power=PowerModel(module, cpu_load=0.5, gpu_load=1.0),
+        c2c=TransferModel.c2c(module),
+        controller=controller,
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(ground_problem):
+    forces = make_forces(ground_problem, 4)
+    pipe = make_pipeline(ground_problem, forces)
+    pipe.run(12)
+    return ground_problem, forces, pipe
+
+
+def test_equivalent_to_sequential(pipeline_run):
+    """§1: 'the accuracy of the analysis is guaranteed to be equivalent
+    to standard equation-based modeling'.  The pipelined schedule
+    changes only *when* work happens — the solutions match a
+    sequential per-case run to rounding (the fused multi-RHS einsum
+    orders flops differently, so exact bit equality is not expected)."""
+    problem, forces, pipe = pipeline_run
+    for idx, (cs, k) in enumerate([(pipe.set_a, 0), (pipe.set_b, 0)]):
+        seq = make_set(problem, [forces[idx * 2]], s=6)
+        # sequential per-case run with identical predictor settings
+        for it in range(1, 13):
+            g, _ = seq.predict(it)
+            seq.solve(it, g)
+        scale = np.abs(seq.states[0].u).max()
+        np.testing.assert_allclose(
+            cs.states[k].u, seq.states[0].u, rtol=0, atol=1e-12 * scale
+        )
+
+
+def test_timeline_invariants(pipeline_run):
+    _, _, pipe = pipeline_run
+    pipe.timeline.validate()  # no overlap within any lane
+    assert pipe.timeline.makespan > 0
+    # gpu never idles between the two solver phases longer than the sync
+    assert pipe.timeline.busy_time("gpu") > 0
+    assert pipe.timeline.busy_time("cpu") > 0
+
+
+def test_predictor_hidden_when_cheaper(pipeline_run):
+    """If t_pred <= t_solve in each phase, the makespan is solver time
+    plus transfers plus the bootstrap prediction — the predictor itself
+    contributes nothing (the paper's full-overlap claim)."""
+    _, _, pipe = pipeline_run
+    tl = pipe.timeline
+    t_gpu = tl.busy_time("gpu")
+    t_xfer = sum(r.t_transfer for r in pipe.records)
+    bootstrap = tl.busy_time("cpu") - sum(r.t_predictor for r in pipe.records)
+    if all(r.t_predictor <= r.t_solver for r in pipe.records):
+        assert tl.makespan <= t_gpu + t_xfer + bootstrap + 1e-12
+
+
+def test_records_complete(pipeline_run):
+    _, _, pipe = pipeline_run
+    assert len(pipe.records) == 12
+    for r in pipe.records:
+        assert r.iterations.shape == (4,)
+        assert r.t_step > 0
+        assert r.t_transfer > 0
+
+
+def test_controller_drives_s(ground_problem):
+    forces = make_forces(ground_problem, 4, seed0=10)
+    ctrl = AdaptiveSController(s_min=2, s_max=8, step=2)
+    pipe = make_pipeline(ground_problem, forces, controller=ctrl)
+    pipe.run(10)
+    assert len(ctrl.history) == 10
+    for p in (*pipe.set_a.predictors, *pipe.set_b.predictors):
+        assert p.s == ctrl.s
+
+
+def test_alps_throttling_slows_solver(ground_problem):
+    """Same problem on Alps (634 W cap) must show a longer modeled
+    solver time than on the uncapped single-GH200 module."""
+    f1 = make_forces(ground_problem, 4, seed0=20)
+    f2 = make_forces(ground_problem, 4, seed0=20)
+    pipe_a = make_pipeline(ground_problem, f1, module=SINGLE_GH200)
+    pipe_b = make_pipeline(ground_problem, f2, module=ALPS_MODULE)
+    pipe_a.run(6)
+    pipe_b.run(6)
+    t_a = sum(r.t_solver for r in pipe_a.records)
+    t_b = sum(r.t_solver for r in pipe_b.records)
+    assert t_b > t_a
+
+
+def test_waveform_recording(ground_problem):
+    forces = make_forces(ground_problem, 4, seed0=30)
+    pipe = make_pipeline(ground_problem, forces)
+    pipe.waveform_dofs = np.array([0, 5, 10])
+    pipe.run(5)
+    w = pipe.waveforms()
+    assert w.shape == (4, 5, 3)
+
+
+def test_case_set_validation(ground_problem):
+    with pytest.raises(ValueError):
+        CaseSet(ground_problem, forces=[lambda it: 0], predictors=[], op_kind="ebe")
+    with pytest.raises(ValueError):
+        CaseSet(
+            ground_problem,
+            forces=[lambda it: 0],
+            predictors=[None],
+            op_kind="dense",
+        )

@@ -1,0 +1,101 @@
+"""ElasticProblem container consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import build_problem
+from repro.fem.newmark import NewmarkState
+
+
+def test_operators_agree(small_problem, rng):
+    A_crs = small_problem.crs_operator()
+    A_ebe = small_problem.ebe_operator()
+    x = rng.standard_normal(small_problem.n_dofs)
+    np.testing.assert_allclose(A_crs @ x, A_ebe @ x, rtol=1e-11,
+                               atol=1e-11 * np.abs(A_crs @ x).max())
+
+
+def test_mass_damping_operators_agree(small_problem, rng):
+    x = rng.standard_normal(small_problem.n_dofs)
+    for kind_pair in [("crs", "ebe")]:
+        m1 = small_problem.mass_operator(kind_pair[0]) @ x
+        m2 = small_problem.mass_operator(kind_pair[1]) @ x
+        np.testing.assert_allclose(m1, m2, rtol=1e-11, atol=1e-11 * np.abs(m1).max())
+        c1 = small_problem.damping_operator(kind_pair[0]) @ x
+        c2 = small_problem.damping_operator(kind_pair[1]) @ x
+        np.testing.assert_allclose(c1, c2, rtol=1e-11, atol=1e-11 * np.abs(c1).max())
+
+
+def test_operators_cached(small_problem):
+    assert small_problem.crs_operator() is small_problem.crs_operator()
+    assert small_problem.ebe_operator() is small_problem.ebe_operator()
+    assert small_problem.preconditioner() is small_problem.preconditioner()
+
+
+def test_rhs_zeroed_at_fixed_dofs(small_problem, rng):
+    state = NewmarkState(
+        rng.standard_normal(small_problem.n_dofs),
+        rng.standard_normal(small_problem.n_dofs),
+        rng.standard_normal(small_problem.n_dofs),
+    )
+    f = rng.standard_normal(small_problem.n_dofs)
+    b = small_problem.rhs(f, state)
+    assert np.abs(b[small_problem.fixed_dofs]).max() == 0.0
+
+
+def test_rhs_kinds_agree(small_problem, rng):
+    state = NewmarkState(
+        rng.standard_normal(small_problem.n_dofs),
+        rng.standard_normal(small_problem.n_dofs),
+        rng.standard_normal(small_problem.n_dofs),
+    )
+    f = rng.standard_normal(small_problem.n_dofs)
+    b1 = small_problem.rhs(f, state, kind="crs")
+    b2 = small_problem.rhs(f, state, kind="ebe")
+    np.testing.assert_allclose(b1, b2, rtol=1e-10, atol=1e-10 * np.abs(b1).max())
+
+
+def test_effective_matrix_is_spd(small_problem, rng):
+    """x'Ax > 0 for random x (the CG requirement)."""
+    A = small_problem.ebe_operator()
+    for _ in range(5):
+        x = rng.standard_normal(small_problem.n_dofs)
+        assert x @ (A @ x) > 0
+
+
+def test_damping_includes_absorbing_boundary(small_mesh):
+    """Damping energy with absorbing sides must exceed Rayleigh-only."""
+    ne = small_mesh.n_elems
+    common = dict(
+        rho=np.full(ne, 2000.0),
+        vp=np.full(ne, 400.0),
+        vs=np.full(ne, 200.0),
+        dt=0.002,
+    )
+    p_abs = build_problem(small_mesh, absorbing_sides=True, **common)
+    p_ray = build_problem(small_mesh, absorbing_sides=False, **common)
+    rng = np.random.default_rng(0)
+    v = rng.standard_normal(p_abs.n_dofs)
+    e_abs = v @ (p_abs.damping_operator("crs") @ v)
+    e_ray = v @ (p_ray.damping_operator("crs") @ v)
+    assert e_abs > e_ray > 0
+
+
+def test_no_fix_bottom_option(small_mesh):
+    ne = small_mesh.n_elems
+    p = build_problem(
+        small_mesh,
+        rho=np.full(ne, 2000.0),
+        vp=np.full(ne, 400.0),
+        vs=np.full(ne, 200.0),
+        dt=0.002,
+        fix_bottom=False,
+    )
+    assert p.fixed_nodes.size == 0
+    assert p.fixed_dofs.size == 0
+
+
+def test_zero_state(small_problem):
+    s = small_problem.zero_state()
+    assert s.u.shape == (small_problem.n_dofs,)
+    assert s.step == 0

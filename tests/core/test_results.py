@@ -1,0 +1,78 @@
+"""RunResult windowed summary arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import RunResult, StepRecord
+from repro.util.timeline import Timeline
+
+
+@pytest.fixture()
+def result():
+    records = [
+        StepRecord(
+            step=i,
+            iterations=np.array([10 * i, 10 * i + 2]),
+            t_solver=1.0,
+            t_predictor=0.5,
+            t_transfer=0.1,
+            t_step=2.0,
+            s_used=i,
+        )
+        for i in range(1, 11)
+    ]
+    return RunResult(
+        method="ebe-mcg@cpu-gpu",
+        module_name="m",
+        n_cases=2,
+        n_dofs=50,
+        records=records,
+        timeline=Timeline(),
+        cpu_memory_bytes=0,
+        gpu_memory_bytes=0,
+        power={"module_power": 100.0},
+    )
+
+
+def test_elapsed_per_step_per_case(result):
+    # t_step = 2.0 across 2 cases -> 1.0 per step per case
+    assert result.elapsed_per_step_per_case() == pytest.approx(1.0)
+
+
+def test_window_selection(result):
+    # steps 5..9 inclusive-exclusive
+    recs = result._window((5, 10))
+    assert [r.step for r in recs] == [5, 6, 7, 8, 9]
+    assert result.elapsed_per_step_per_case((5, 10)) == pytest.approx(1.0)
+
+
+def test_iterations_per_step(result):
+    # mean over cases of step i is 10i + 1; mean over steps 1..10 is 56
+    assert result.iterations_per_step() == pytest.approx(56.0)
+    assert result.iterations_per_step((10, 11)) == pytest.approx(101.0)
+
+
+def test_energy_uses_module_power(result):
+    # J/step/case = module_power * elapsed/step/case
+    assert result.energy_per_step_per_case() == pytest.approx(100.0)
+
+
+def test_solver_predictor_split(result):
+    assert result.solver_time_per_step_per_case() == pytest.approx(0.5)
+    assert result.predictor_time_per_step_per_case() == pytest.approx(0.25)
+
+
+def test_s_trace(result):
+    np.testing.assert_array_equal(result.s_trace(), np.arange(1, 11))
+
+
+def test_none_window_uses_all(result):
+    assert len(result._window(None)) == 10
+
+
+def test_summary_is_self_consistent(result):
+    s = result.summary((2, 8))
+    assert s["energy_per_step_per_case_J"] == pytest.approx(
+        s["module_power_W"] * s["elapsed_per_step_per_case_s"]
+    )
+    assert s["n_cases"] == 2

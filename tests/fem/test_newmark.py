@@ -1,0 +1,112 @@
+"""Newmark trapezoidal integration against analytic single-dof solutions."""
+
+import numpy as np
+import pytest
+
+from repro.fem.newmark import NewmarkBeta, NewmarkState
+
+
+class ScalarOp:
+    """1x1 'matrix' supporting @."""
+
+    def __init__(self, v: float):
+        self.v = v
+
+    def __matmul__(self, x):
+        return self.v * x
+
+
+def integrate_sdof(m, c, k, dt, nt, f=None, u0=0.0, v0=0.0):
+    """Newmark-integrate m u'' + c u' + k u = f(t)."""
+    nm = NewmarkBeta(dt)
+    M, C = ScalarOp(m), ScalarOp(c)
+    a0 = (f(0.0) if f else 0.0 - c * v0 - k * u0) / m
+    state = NewmarkState(np.array([u0]), np.array([v0]), np.array([a0]))
+    A = nm.c_mass * m + nm.c_damp * c + k
+    us = [u0]
+    for it in range(1, nt + 1):
+        fi = np.array([f(it * dt)]) if f else np.zeros(1)
+        b = nm.rhs(M, C, fi, state)
+        u_new = b / A
+        state = nm.advance(state, u_new)
+        us.append(float(u_new[0]))
+    return np.array(us), state
+
+
+def test_undamped_oscillation_period():
+    m, k = 1.0, (2 * np.pi) ** 2  # 1 Hz
+    dt = 0.005
+    nt = 400  # two periods
+    us, _ = integrate_sdof(m, 0.0, k, dt, nt, u0=1.0)
+    t = np.arange(nt + 1) * dt
+    np.testing.assert_allclose(us, np.cos(2 * np.pi * t), atol=5e-3)
+
+
+def test_undamped_energy_conservation():
+    """The trapezoidal rule conserves the discrete energy exactly."""
+    m, k = 2.0, 50.0
+    dt = 0.01
+    nm = NewmarkBeta(dt)
+    state = NewmarkState(np.array([1.0]), np.array([0.0]), np.array([-k / m]))
+    A = nm.c_mass * m + k
+    M, C = ScalarOp(m), ScalarOp(0.0)
+    e0 = 0.5 * k * 1.0**2
+    for _ in range(500):
+        b = nm.rhs(M, C, np.zeros(1), state)
+        state = nm.advance(state, b / A)
+    e = 0.5 * m * state.v[0] ** 2 + 0.5 * k * state.u[0] ** 2
+    assert e == pytest.approx(e0, rel=1e-10)
+
+
+def test_damped_decay_rate():
+    """Light damping: amplitude decays as exp(-zeta w t)."""
+    m, k = 1.0, (2 * np.pi * 2.0) ** 2
+    w = np.sqrt(k / m)
+    zeta = 0.05
+    c = 2 * zeta * w * m
+    dt = 0.002
+    nt = 1000
+    us, _ = integrate_sdof(m, c, k, dt, nt, u0=1.0)
+    t = np.arange(nt + 1) * dt
+    envelope = np.exp(-zeta * w * t)
+    peaks = np.abs(us)
+    # sampled at a few late times, the response must sit under the
+    # envelope and near it at local maxima
+    assert np.all(peaks <= envelope * 1.05)
+    assert peaks[-200:].max() >= envelope[-1] * 0.5
+
+
+def test_static_load_limit():
+    """Constant force converges to u = f/k."""
+    m, k, f0 = 1.0, 100.0, 5.0
+    c = 2 * 0.5 * np.sqrt(k) * m  # heavy damping
+    us, _ = integrate_sdof(m, c, k, 0.01, 3000, f=lambda t: f0)
+    assert us[-1] == pytest.approx(f0 / k, rel=1e-6)
+
+
+def test_velocity_acceleration_recurrences_consistent():
+    """Eq. 6-7 must be the exact trapezoidal update: v_{n+1}+v_n =
+    (2/dt)(u_{n+1}-u_n) and a_{n+1}+a_n = (2/dt)(v_{n+1}-v_n)."""
+    dt = 0.01
+    nm = NewmarkBeta(dt)
+    rng = np.random.default_rng(0)
+    state = NewmarkState(rng.standard_normal(4), rng.standard_normal(4), rng.standard_normal(4))
+    u_new = rng.standard_normal(4)
+    new = nm.advance(state, u_new)
+    np.testing.assert_allclose(new.v + state.v, (2 / dt) * (u_new - state.u), atol=1e-12)
+    np.testing.assert_allclose(new.a + state.a, (2 / dt) * (new.v - state.v), atol=1e-12)
+    assert new.step == state.step + 1
+
+
+def test_invalid_dt():
+    with pytest.raises(ValueError):
+        NewmarkBeta(0.0)
+
+
+def test_zero_state_factory():
+    s = NewmarkState.zeros(6)
+    assert s.u.shape == (6,)
+    assert s.step == 0
+    c = s.copy()
+    c.u[0] = 1.0
+    assert s.u[0] == 0.0

@@ -1,0 +1,75 @@
+"""Quadrature rules: weight sums and polynomial exactness."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import tet_rule, tri_rule
+
+
+def tet_monomial_integral(a: int, b: int, c: int) -> float:
+    """Exact integral of x^a y^b z^c over the reference tetrahedron:
+    a! b! c! / (a + b + c + 3)!."""
+    return (
+        math.factorial(a)
+        * math.factorial(b)
+        * math.factorial(c)
+        / math.factorial(a + b + c + 3)
+    )
+
+
+def tri_monomial_integral(a: int, b: int) -> float:
+    """Exact integral of x^a y^b over the reference triangle."""
+    return math.factorial(a) * math.factorial(b) / math.factorial(a + b + 2)
+
+
+@pytest.mark.parametrize("degree", [1, 2, 4])
+def test_tet_weights_sum_to_volume(degree):
+    _, w = tet_rule(degree)
+    assert w.sum() == pytest.approx(1.0 / 6.0, rel=1e-13)
+
+
+@pytest.mark.parametrize("degree", [1, 2, 4])
+def test_tri_weights_sum_to_area(degree):
+    _, w = tri_rule(degree)
+    assert w.sum() == pytest.approx(0.5, rel=1e-13)
+
+
+@pytest.mark.parametrize("degree", [1, 2, 4])
+def test_tet_polynomial_exactness(degree):
+    pts, w = tet_rule(degree)
+    for a, b, c in itertools.product(range(degree + 1), repeat=3):
+        if a + b + c > degree:
+            continue
+        approx = np.sum(w * pts[:, 0] ** a * pts[:, 1] ** b * pts[:, 2] ** c)
+        assert approx == pytest.approx(
+            tet_monomial_integral(a, b, c), rel=1e-10, abs=1e-14
+        ), f"monomial x^{a} y^{b} z^{c}"
+
+
+@pytest.mark.parametrize("degree", [1, 2, 4])
+def test_tri_polynomial_exactness(degree):
+    pts, w = tri_rule(degree)
+    for a, b in itertools.product(range(degree + 1), repeat=2):
+        if a + b > degree:
+            continue
+        approx = np.sum(w * pts[:, 0] ** a * pts[:, 1] ** b)
+        assert approx == pytest.approx(
+            tri_monomial_integral(a, b), rel=1e-10, abs=1e-14
+        ), f"monomial x^{a} y^{b}"
+
+
+def test_tet_points_inside_reference():
+    pts, _ = tet_rule(4)
+    l0 = 1 - pts.sum(axis=1)
+    assert np.all(pts >= -1e-12)
+    assert np.all(l0 >= -1e-12)
+
+
+def test_unknown_degree_raises():
+    with pytest.raises(ValueError):
+        tet_rule(7)
+    with pytest.raises(ValueError):
+        tri_rule(9)

@@ -1,0 +1,90 @@
+"""Shape-function identities for TET10 and TRI6."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import tet_rule, tri_rule
+from repro.fem.tet10 import TET10_EDGES, TRI6_EDGES, tet10_shape, tri6_shape
+
+# Natural coordinates of the 10 TET10 nodes (corners then midsides).
+_CORNERS = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ]
+)
+
+
+def tet10_node_coords() -> np.ndarray:
+    mids = np.array([(_CORNERS[a] + _CORNERS[b]) / 2 for a, b in TET10_EDGES])
+    return np.vstack([_CORNERS, mids])
+
+
+def tri6_node_coords() -> np.ndarray:
+    corners = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    mids = np.array([(corners[a] + corners[b]) / 2 for a, b in TRI6_EDGES])
+    return np.vstack([corners, mids])
+
+
+def test_tet10_kronecker_delta():
+    N, _ = tet10_shape(tet10_node_coords())
+    np.testing.assert_allclose(N, np.eye(10), atol=1e-13)
+
+
+def test_tri6_kronecker_delta():
+    N, _ = tri6_shape(tri6_node_coords())
+    np.testing.assert_allclose(N, np.eye(6), atol=1e-13)
+
+
+def test_tet10_partition_of_unity():
+    pts, _ = tet_rule(4)
+    N, dN = tet10_shape(pts)
+    np.testing.assert_allclose(N.sum(axis=1), 1.0, atol=1e-13)
+    np.testing.assert_allclose(dN.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_tri6_partition_of_unity():
+    pts, _ = tri_rule(4)
+    N, dN = tri6_shape(pts)
+    np.testing.assert_allclose(N.sum(axis=1), 1.0, atol=1e-13)
+    np.testing.assert_allclose(dN.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_tet10_linear_completeness():
+    """Quadratic elements reproduce linear fields exactly: the
+    interpolation of f(x)=x at the nodes equals x at any point."""
+    rng = np.random.default_rng(3)
+    pts = rng.dirichlet(np.ones(4), size=20)[:, 1:]  # random interior points
+    N, dN = tet10_shape(pts)
+    nodes = tet10_node_coords()
+    for comp in range(3):
+        f_nodes = nodes[:, comp]
+        np.testing.assert_allclose(N @ f_nodes, pts[:, comp], atol=1e-12)
+        grad = np.einsum("qa,a->q", dN[:, :, comp], f_nodes)
+        np.testing.assert_allclose(grad, 1.0, atol=1e-12)
+
+
+def test_tet10_quadratic_completeness():
+    """Quadratic fields are reproduced exactly too."""
+    rng = np.random.default_rng(4)
+    pts = rng.dirichlet(np.ones(4), size=10)[:, 1:]
+    N, _ = tet10_shape(pts)
+    nodes = tet10_node_coords()
+    f = lambda p: p[:, 0] ** 2 + 2 * p[:, 0] * p[:, 1] - p[:, 2] ** 2 + p[:, 1]
+    np.testing.assert_allclose(N @ f(nodes), f(pts), atol=1e-12)
+
+
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(5)
+    pts = rng.dirichlet(np.ones(4), size=5)[:, 1:]
+    _, dN = tet10_shape(pts)
+    h = 1e-6
+    for k in range(3):
+        dp = np.zeros(3)
+        dp[k] = h
+        Np, _ = tet10_shape(pts + dp)
+        Nm, _ = tet10_shape(pts - dp)
+        fd = (Np - Nm) / (2 * h)
+        np.testing.assert_allclose(dN[:, :, k], fd, atol=1e-7)

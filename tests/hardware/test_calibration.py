@@ -1,0 +1,49 @@
+"""Kernel efficiency calibration against paper Table 2."""
+
+import pytest
+
+from repro.hardware.calibration import (
+    KernelClass,
+    classify_tag,
+    ebe_flop_efficiency,
+    efficiency_for,
+)
+
+
+def test_ebe_efficiency_fits_table2():
+    assert ebe_flop_efficiency(1) == pytest.approx(0.280, rel=1e-6)
+    assert ebe_flop_efficiency(4) == pytest.approx(0.533, rel=1e-6)
+
+
+def test_ebe_efficiency_monotone_saturating():
+    vals = [ebe_flop_efficiency(r) for r in range(1, 20)]
+    assert all(b > a for a, b in zip(vals, vals[1:]))
+    assert vals[-1] < 1.0
+
+
+def test_classify_tags():
+    assert classify_tag("spmv.ebe4") == (KernelClass.EBE_SPMV, 4)
+    assert classify_tag("spmv.ebe1") == (KernelClass.EBE_SPMV, 1)
+    assert classify_tag("spmv.crs") == (KernelClass.CRS_SPMV, 1)
+    assert classify_tag("rhs.spmv") == (KernelClass.CRS_SPMV, 1)
+    assert classify_tag("cg.vec")[0] is KernelClass.VECTOR
+    assert classify_tag("cg.precond")[0] is KernelClass.VECTOR
+    assert classify_tag("predictor.mgs")[0] is KernelClass.PREDICTOR
+    assert classify_tag("mystery")[0] is KernelClass.OTHER
+
+
+def test_crs_bandwidth_efficiency_in_measured_range():
+    eff = efficiency_for("spmv.crs")
+    assert 0.50 <= eff.bandwidth <= 0.56  # paper: 51.0-54.6 %
+
+
+def test_efficiencies_valid():
+    for tag in ["spmv.crs", "spmv.ebe1", "spmv.ebe8", "cg.vec", "predictor.mgs", "x"]:
+        e = efficiency_for(tag)
+        assert 0 < e.flops <= 1
+        assert 0 < e.bandwidth <= 1
+
+
+def test_bad_rhs_count():
+    with pytest.raises(ValueError):
+        ebe_flop_efficiency(0)

@@ -1,0 +1,88 @@
+"""Power model and module energy accounting."""
+
+import pytest
+
+from repro.hardware.power import PowerModel, energy_of_timeline
+from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+from repro.util.timeline import Timeline
+
+
+def test_busy_power_scales_with_load():
+    pm_full = PowerModel(SINGLE_GH200, cpu_load=1.0)
+    pm_half = PowerModel(SINGLE_GH200, cpu_load=0.5)
+    c = SINGLE_GH200.cpu
+    assert pm_full.cpu_busy_power() == pytest.approx(c.max_power)
+    assert pm_half.cpu_busy_power() == pytest.approx(
+        c.idle_power + 0.5 * (c.max_power - c.idle_power)
+    )
+
+
+def test_single_gh200_no_throttle():
+    """1000 W cap fits CPU+GPU at full tilt (paper: 'allowing the CPU
+    cores and the GPU to operate simultaneously at high frequencies')."""
+    pm = PowerModel(SINGLE_GH200, cpu_load=0.5, gpu_load=1.0)
+    assert pm.gpu_throttle_factor(cpu_concurrent=True) == 1.0
+
+
+def test_alps_throttles_under_cpu_load():
+    """634 W cap forces GPU slowdown when the CPU is busy."""
+    pm = PowerModel(ALPS_MODULE, cpu_load=0.5, gpu_load=1.0)
+    f_busy = pm.gpu_throttle_factor(cpu_concurrent=True)
+    f_idle = pm.gpu_throttle_factor(cpu_concurrent=False)
+    assert f_busy < f_idle <= 1.0
+    assert 0.4 < f_busy < 0.9
+
+
+def test_alps_fewer_threads_less_throttle():
+    """Paper Table 4: reducing predictor threads raises GPU speed."""
+    f36 = PowerModel(ALPS_MODULE, cpu_load=36 / 72).gpu_throttle_factor(True)
+    f16 = PowerModel(ALPS_MODULE, cpu_load=16 / 72).gpu_throttle_factor(True)
+    assert f16 > f36
+
+
+def test_gpu_power_capped():
+    pm = PowerModel(ALPS_MODULE, cpu_load=1.0, gpu_load=1.0)
+    total = pm.cpu_busy_power() + pm.gpu_power_under_cap(cpu_concurrent=True)
+    assert total <= ALPS_MODULE.power_cap + 1e-9
+
+
+def test_energy_idle_only():
+    tl = Timeline()
+    tl.schedule("cpu", "work", 10.0)
+    pm = PowerModel(SINGLE_GH200, cpu_load=1.0)
+    out = energy_of_timeline(tl, pm)
+    expected = 10.0 * (SINGLE_GH200.cpu.max_power + SINGLE_GH200.gpu.idle_power)
+    assert out["energy"] == pytest.approx(expected)
+    assert out["module_power"] == pytest.approx(expected / 10.0)
+
+
+def test_energy_with_overlap():
+    tl = Timeline()
+    tl.schedule("cpu", "pred", 4.0)
+    tl.schedule("gpu", "solve", 4.0)  # fully overlapped
+    pm = PowerModel(SINGLE_GH200, cpu_load=1.0, gpu_load=1.0)
+    out = energy_of_timeline(tl, pm)
+    expected = 4.0 * (SINGLE_GH200.cpu.max_power + SINGLE_GH200.gpu.max_power)
+    assert out["energy"] == pytest.approx(expected)
+
+
+def test_empty_timeline_zero_energy():
+    out = energy_of_timeline(Timeline(), PowerModel(SINGLE_GH200))
+    assert out["energy"] == 0.0
+
+
+def test_gpu_only_run_matches_paper_structure():
+    """CRS-CG@GPU-style run: GPU busy, CPU idle -> module power between
+    GPU max and GPU max + CPU idle."""
+    tl = Timeline()
+    tl.schedule("gpu", "solve", 5.0)
+    pm = PowerModel(SINGLE_GH200, cpu_load=0.0, gpu_load=1.0)
+    out = energy_of_timeline(tl, pm)
+    assert out["module_power"] == pytest.approx(
+        SINGLE_GH200.gpu.max_power + SINGLE_GH200.cpu.idle_power
+    )
+
+
+def test_load_validation():
+    with pytest.raises(ValueError):
+        PowerModel(SINGLE_GH200, cpu_load=1.5)

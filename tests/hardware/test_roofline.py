@@ -1,0 +1,63 @@
+"""Roofline timing model."""
+
+import pytest
+
+from repro.hardware.calibration import efficiency_for
+from repro.hardware.roofline import DeviceModel, kernel_time
+from repro.hardware.specs import SINGLE_GH200
+from repro.util.counters import KernelTally
+
+
+def test_bandwidth_bound_kernel():
+    """CRS SpMV (low intensity) must be limited by memory time."""
+    g = SINGLE_GH200.gpu
+    eff = efficiency_for("spmv.crs")
+    t = kernel_time(flops=18e9, bytes_=76e9, device=g, tag="spmv.crs")
+    assert t == pytest.approx(76e9 / (eff.bandwidth * g.mem_bandwidth))
+
+
+def test_flop_bound_kernel():
+    g = SINGLE_GH200.gpu
+    eff = efficiency_for("spmv.ebe4")
+    t = kernel_time(flops=40e12, bytes_=1e9, device=g, tag="spmv.ebe4")
+    assert t == pytest.approx(40e12 / (eff.flops * g.peak_flops))
+
+
+def test_throttle_slows_flops_more_than_bytes():
+    m = DeviceModel(SINGLE_GH200.gpu)
+    slow = m.throttled(0.5)
+    t_f = slow.time_for("spmv.ebe4", 1e12, 0.0)
+    t_f0 = m.time_for("spmv.ebe4", 1e12, 0.0)
+    assert t_f == pytest.approx(2 * t_f0)
+    t_b = slow.time_for("spmv.crs", 0.0, 1e9)
+    t_b0 = m.time_for("spmv.crs", 0.0, 1e9)
+    assert t_b < 1.5 * t_b0  # bandwidth derates only as f**0.25
+
+
+def test_tally_summation():
+    m = DeviceModel(SINGLE_GH200.gpu)
+    t = KernelTally()
+    t.charge("spmv.crs", 1e9, 2e9)
+    t.charge("cg.vec", 1e8, 5e8)
+    total = m.time_for_tally(t)
+    parts = m.time_for("spmv.crs", 1e9, 2e9) + m.time_for("cg.vec", 1e8, 5e8)
+    assert total == pytest.approx(parts)
+
+
+def test_tally_prefix_filter():
+    m = DeviceModel(SINGLE_GH200.cpu)
+    t = KernelTally()
+    t.charge("spmv.crs", 1e9, 2e9)
+    t.charge("predictor.mgs", 1e9, 2e9)
+    assert m.time_for_tally(t, prefix="predictor.") < m.time_for_tally(t)
+
+
+def test_cpu_slower_than_gpu_on_same_kernel():
+    cpu = DeviceModel(SINGLE_GH200.cpu)
+    gpu = DeviceModel(SINGLE_GH200.gpu)
+    assert cpu.time_for("spmv.crs", 1e9, 40e9) > gpu.time_for("spmv.crs", 1e9, 40e9)
+
+
+def test_invalid_factors():
+    with pytest.raises(ValueError):
+        kernel_time(1, 1, SINGLE_GH200.gpu, "cg.vec", flop_factor=0.0)

@@ -1,0 +1,52 @@
+"""Device datasheets match paper Table 1."""
+
+import pytest
+
+from repro.hardware.specs import ALPS_MODULE, ALPS_NODE, SINGLE_GH200, DeviceSpec
+
+
+def test_single_gh200_cpu():
+    c = SINGLE_GH200.cpu
+    assert c.peak_flops == pytest.approx(3.57e12)
+    assert c.mem_bandwidth == pytest.approx(384e9)
+    assert c.mem_capacity == pytest.approx(480e9)
+    assert c.n_cores == 72
+
+
+def test_single_gh200_gpu():
+    g = SINGLE_GH200.gpu
+    assert g.peak_flops == pytest.approx(34e12)
+    assert g.mem_bandwidth == pytest.approx(4000e9)
+    assert g.mem_capacity == pytest.approx(96e9)
+
+
+def test_c2c_bidirectional_900():
+    # 900 GB/s bidirectional -> 450 GB/s per direction
+    assert SINGLE_GH200.c2c_bandwidth == pytest.approx(450e9)
+    assert ALPS_MODULE.c2c_bandwidth == pytest.approx(450e9)
+
+
+def test_power_caps():
+    assert SINGLE_GH200.power_cap == 1000.0
+    assert ALPS_MODULE.power_cap == 634.0
+
+
+def test_alps_differences():
+    assert ALPS_MODULE.cpu.mem_capacity == pytest.approx(128e9)
+    assert ALPS_MODULE.cpu.mem_bandwidth == pytest.approx(512e9)
+    assert ALPS_MODULE.interconnect_bandwidth == pytest.approx(24e9)
+    assert ALPS_NODE.n_modules == 4
+
+
+def test_cpu_memory_ratio_five_x():
+    """Paper: 'CPU memory capacity ... is 480/96 = 5 times larger'."""
+    assert SINGLE_GH200.cpu.mem_capacity / SINGLE_GH200.gpu.mem_capacity == pytest.approx(5.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec("bad", peak_flops=-1, mem_bandwidth=1, mem_capacity=1,
+                   idle_power=0, max_power=1)
+    with pytest.raises(ValueError):
+        DeviceSpec("bad", peak_flops=1, mem_bandwidth=1, mem_capacity=1,
+                   idle_power=5, max_power=1)

@@ -1,0 +1,35 @@
+"""Transfer cost models."""
+
+import pytest
+
+from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+from repro.hardware.transfer import TransferModel
+
+
+def test_time_is_latency_plus_bandwidth():
+    t = TransferModel(bandwidth=1e9, latency=1e-6)
+    assert t.time(1e9) == pytest.approx(1.0 + 1e-6)
+    assert t.time(0) == pytest.approx(1e-6)
+
+
+def test_c2c_from_module():
+    c = TransferModel.c2c(SINGLE_GH200)
+    assert c.bandwidth == pytest.approx(450e9)
+    # a 46.5M-dof solution vector crosses in well under a millisecond —
+    # the paper's premise that the C2C link makes exchange negligible
+    assert c.time(46_529_709 * 8) < 1e-3
+
+
+def test_nic_from_module():
+    n = TransferModel.nic(ALPS_MODULE)
+    assert n.bandwidth == pytest.approx(24e9)
+    with pytest.raises(ValueError):
+        TransferModel.nic(SINGLE_GH200)  # no interconnect configured
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TransferModel(bandwidth=0, latency=0)
+    t = TransferModel(bandwidth=1e9, latency=0)
+    with pytest.raises(ValueError):
+        t.time(-1)

@@ -1,0 +1,61 @@
+"""VTK export."""
+
+import numpy as np
+import pytest
+
+from repro.io.vtk import write_vtk
+
+
+def test_basic_structure(tmp_path, tiny_mesh):
+    path = write_vtk(tiny_mesh, tmp_path / "mesh.vtk")
+    text = path.read_text()
+    assert text.startswith("# vtk DataFile Version 3.0")
+    assert f"POINTS {tiny_mesh.n_nodes} double" in text
+    assert f"CELLS {tiny_mesh.n_elems} {tiny_mesh.n_elems * 11}" in text
+    # every cell is a quadratic tetra
+    assert text.count("\n24") + text.count("24\n") >= tiny_mesh.n_elems
+
+
+def test_point_scalars_and_vectors(tmp_path, tiny_mesh):
+    nn = tiny_mesh.n_nodes
+    path = write_vtk(
+        tiny_mesh,
+        tmp_path / "fields.vtk",
+        point_data={
+            "freq": np.linspace(0, 1, nn),
+            "disp": np.zeros((nn, 3)),
+        },
+    )
+    text = path.read_text()
+    assert "SCALARS freq double 1" in text
+    assert "VECTORS disp double" in text
+    assert f"POINT_DATA {nn}" in text
+
+
+def test_cell_data(tmp_path, tiny_mesh):
+    ne = tiny_mesh.n_elems
+    path = write_vtk(
+        tiny_mesh, tmp_path / "cells.vtk", cell_data={"mat": np.ones(ne)}
+    )
+    text = path.read_text()
+    assert f"CELL_DATA {ne}" in text
+    assert "SCALARS mat double 1" in text
+
+
+def test_shape_validation(tmp_path, tiny_mesh):
+    with pytest.raises(ValueError):
+        write_vtk(tiny_mesh, tmp_path / "x.vtk",
+                  point_data={"bad": np.zeros(3)})
+    with pytest.raises(ValueError):
+        write_vtk(tiny_mesh, tmp_path / "y.vtk",
+                  cell_data={"bad": np.zeros(3)})
+
+
+def test_connectivity_indices_valid(tmp_path, tiny_mesh):
+    path = write_vtk(tiny_mesh, tmp_path / "conn.vtk")
+    lines = path.read_text().splitlines()
+    start = lines.index(f"CELLS {tiny_mesh.n_elems} {tiny_mesh.n_elems * 11}") + 1
+    for i in range(tiny_mesh.n_elems):
+        parts = [int(x) for x in lines[start + i].split()]
+        assert parts[0] == 10
+        assert all(0 <= p < tiny_mesh.n_nodes for p in parts[1:])

@@ -1,0 +1,86 @@
+"""Adams-Bashforth extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.predictor.adams_bashforth import AdamsBashforth
+
+
+def feed(pred, dt, nt, u_of_t, v_of_t, n=3):
+    for k in range(1, nt + 1):
+        t = k * dt
+        pred.observe(u_of_t(t) * np.ones(n), v_of_t(t) * np.ones(n))
+
+
+def test_cold_start_predicts_zero():
+    p = AdamsBashforth(4, dt=0.1)
+    np.testing.assert_array_equal(p.predict(), 0.0)
+
+
+def test_constant_velocity_exact():
+    """u(t) = c t is reproduced exactly from order 1 on."""
+    dt = 0.1
+    p = AdamsBashforth(3, dt)
+    feed(p, dt, 6, lambda t: 2.5 * t, lambda t: 2.5, n=3)
+    np.testing.assert_allclose(p.predict(), 2.5 * 0.7, rtol=1e-12)
+
+
+def test_quadratic_exact_from_order_2():
+    """u = t^2 (v = 2t, linear) is exact for AB2+."""
+    dt = 0.05
+    p = AdamsBashforth(3, dt)
+    feed(p, dt, 8, lambda t: t**2, lambda t: 2 * t)
+    t_next = 9 * dt
+    np.testing.assert_allclose(p.predict(), t_next**2, rtol=1e-10)
+
+
+def test_order_4_beats_order_1_on_oscillation():
+    dt = 0.02
+    w = 2 * np.pi
+    u = lambda t: np.sin(w * t)
+    v = lambda t: w * np.cos(w * t)
+    p1 = AdamsBashforth(3, dt, order=1)
+    p4 = AdamsBashforth(3, dt, order=4)
+    feed(p1, dt, 10, u, v)
+    feed(p4, dt, 10, u, v)
+    truth = u(11 * dt)
+    assert abs(p4.predict()[0] - truth) < abs(p1.predict()[0] - truth)
+
+
+def test_warmup_order_grows():
+    dt = 0.1
+    p = AdamsBashforth(2, dt)
+    assert p.history_steps == 0
+    p.observe(np.zeros(2), np.ones(2))
+    assert p.history_steps == 1
+    for _ in range(5):
+        p.observe(np.zeros(2), np.ones(2))
+    assert p.history_steps == 4  # deque capped at order
+
+
+def test_memory_bytes_grows_with_history():
+    p = AdamsBashforth(100, dt=0.1)
+    m0 = p.memory_bytes()
+    p.observe(np.zeros(100), np.zeros(100))
+    assert p.memory_bytes() > m0
+
+
+def test_invalid_order():
+    with pytest.raises(ValueError):
+        AdamsBashforth(4, 0.1, order=5)
+
+
+def test_state_size_checked():
+    p = AdamsBashforth(4, 0.1)
+    with pytest.raises(ValueError):
+        p.observe(np.zeros(3), np.zeros(4))
+
+
+def test_charges_predictor_work():
+    from repro.util.counters import tally_scope
+
+    p = AdamsBashforth(50, 0.1)
+    p.observe(np.zeros(50), np.ones(50))
+    with tally_scope() as t:
+        p.predict()
+    assert t.total_flops("predictor.ab") > 0

@@ -1,0 +1,69 @@
+"""Adaptive history-length controller (paper Fig. 4 behaviour)."""
+
+import pytest
+
+from repro.predictor.adaptive import AdaptiveSController
+
+
+def test_grows_when_predictor_has_slack():
+    c = AdaptiveSController(s_min=8, s_max=32, step=2)
+    s = c.update(t_predictor=0.1, t_solver=1.0)
+    assert s == 10
+
+
+def test_shrinks_when_predictor_critical():
+    c = AdaptiveSController(s_min=8, s_max=32, step=2)
+    c.s = 20
+    s = c.update(t_predictor=2.0, t_solver=1.0)
+    assert s == 18
+
+
+def test_deadband_freezes():
+    c = AdaptiveSController(s_min=8, s_max=32, deadband=0.2)
+    c.s = 16
+    assert c.update(1.05, 1.0) == 16
+    assert c.update(0.95, 1.0) == 16
+
+
+def test_bounds_respected():
+    c = AdaptiveSController(s_min=8, s_max=12, step=4)
+    for _ in range(10):
+        c.update(0.0, 1.0)
+    assert c.s == 12
+    for _ in range(10):
+        c.update(5.0, 1.0)
+    assert c.s == 8
+
+
+def test_converges_to_balance():
+    """With predictor cost ~ s and a fixed solver budget, the
+    controller settles where times match."""
+    c = AdaptiveSController(s_min=2, s_max=40, step=1, deadband=0.1)
+    cost_per_s = 0.05
+    t_solver = 1.0
+    for _ in range(100):
+        c.update(c.s * cost_per_s, t_solver)
+    assert abs(c.s * cost_per_s - t_solver) <= 0.2 * t_solver
+
+
+def test_history_recorded():
+    c = AdaptiveSController()
+    c.update(0.0, 1.0)
+    c.update(0.0, 1.0)
+    assert len(c.history) == 2
+
+
+def test_zero_solver_time_is_noop():
+    c = AdaptiveSController(s_min=8, s_max=32)
+    s0 = c.s
+    assert c.update(0.5, 0.0) == s0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdaptiveSController(s_min=0)
+    with pytest.raises(ValueError):
+        AdaptiveSController(s_min=10, s_max=5)
+    c = AdaptiveSController()
+    with pytest.raises(ValueError):
+        c.update(-1.0, 1.0)

@@ -1,0 +1,65 @@
+"""BlockCRS wrapper: numerics and instrumentation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.bcrs import BlockCRS
+from repro.util.counters import tally_scope
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    n_blocks = 20
+    dense = np.zeros((3 * n_blocks, 3 * n_blocks))
+    for i in range(n_blocks):
+        for j in range(n_blocks):
+            if i == j or rng.random() < 0.15:
+                blk = rng.standard_normal((3, 3))
+                dense[3 * i : 3 * i + 3, 3 * j : 3 * j + 3] = blk
+    dense = dense + dense.T + 30 * np.eye(3 * n_blocks)
+    return BlockCRS(sp.csr_matrix(dense)), dense
+
+
+def test_matvec_matches_dense(matrix):
+    A, dense = matrix
+    x = np.random.default_rng(1).standard_normal(A.n)
+    np.testing.assert_allclose(A @ x, dense @ x, rtol=1e-12)
+
+
+def test_block_matvec(matrix):
+    A, dense = matrix
+    X = np.random.default_rng(2).standard_normal((A.n, 3))
+    np.testing.assert_allclose(A.matvec(X), dense @ X, rtol=1e-12)
+
+
+def test_charges_work_per_rhs(matrix):
+    A, _ = matrix
+    x = np.zeros(A.n)
+    with tally_scope() as t1:
+        A.matvec(x)
+    with tally_scope() as t3:
+        A.matvec(np.zeros((A.n, 3)))
+    assert t3.total_flops("spmv.crs") == pytest.approx(3 * t1.total_flops("spmv.crs"))
+    assert t1.total_flops("spmv.crs") == 18.0 * A.nnz_blocks
+
+
+def test_memory_bytes(matrix):
+    A, _ = matrix
+    expected = A.nnz_blocks * 72 + A.nnz_blocks * 4 + (A.n_block_rows + 1) * 4
+    assert A.memory_bytes() == expected
+
+
+def test_diagonal_blocks(matrix):
+    A, dense = matrix
+    blocks = A.diagonal_blocks()
+    for i in range(A.n_block_rows):
+        np.testing.assert_allclose(
+            blocks[i], dense[3 * i : 3 * i + 3, 3 * i : 3 * i + 3], rtol=1e-12
+        )
+
+
+def test_rejects_non_sparse():
+    with pytest.raises(TypeError):
+        BlockCRS(np.eye(6))

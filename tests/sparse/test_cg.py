@@ -1,0 +1,146 @@
+"""Preconditioned CG (Algorithm 1): correctness and multi-RHS fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.cg import pcg
+from repro.sparse.precond import BlockJacobi
+
+
+class DenseOp:
+    def __init__(self, A):
+        self.A = np.asarray(A)
+        self.shape = self.A.shape
+
+    def matvec(self, x):
+        return self.A @ x
+
+
+def spd(n, seed=0, cond=50.0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    d = np.geomspace(1.0, cond, n)
+    return Q @ np.diag(d) @ Q.T
+
+
+def test_solves_spd_system():
+    A = spd(30, seed=1)
+    b = np.random.default_rng(2).standard_normal(30)
+    res = pcg(DenseOp(A), b, eps=1e-10, max_iter=500)
+    assert res.converged.all()
+    np.testing.assert_allclose(A @ res.x, b, rtol=1e-8)
+
+
+def test_exact_initial_guess_converges_immediately():
+    A = spd(12, seed=3)
+    x_true = np.arange(12.0)
+    b = A @ x_true
+    res = pcg(DenseOp(A), b, x0=x_true, eps=1e-8)
+    assert res.iterations[0] == 0
+    assert res.loop_iterations == 0
+
+
+def test_zero_rhs():
+    A = spd(9, seed=4)
+    res = pcg(DenseOp(A), np.zeros(9), eps=1e-8)
+    np.testing.assert_array_equal(res.x, 0.0)
+    assert res.converged.all()
+    assert res.iterations[0] == 0
+
+
+def test_multi_rhs_matches_individual_solves():
+    A = spd(24, seed=5)
+    rng = np.random.default_rng(6)
+    B = rng.standard_normal((24, 4))
+    op = DenseOp(A)
+    block = pcg(op, B, eps=1e-10, max_iter=500)
+    for k in range(4):
+        single = pcg(op, B[:, k], eps=1e-10, max_iter=500)
+        np.testing.assert_allclose(block.x[:, k], single.x, rtol=1e-6, atol=1e-9)
+
+
+def test_mixed_zero_and_nonzero_columns():
+    A = spd(15, seed=7)
+    B = np.zeros((15, 2))
+    B[:, 1] = np.random.default_rng(8).standard_normal(15)
+    res = pcg(DenseOp(A), B, eps=1e-10, max_iter=300)
+    np.testing.assert_array_equal(res.x[:, 0], 0.0)
+    assert res.converged.all()
+    assert res.iterations[0] == 0
+    assert res.iterations[1] > 0
+
+
+def test_good_guess_reduces_iterations():
+    """The whole point of the paper's predictor: a better x0 means
+    fewer iterations."""
+    A = spd(40, seed=9, cond=1000.0)
+    rng = np.random.default_rng(10)
+    x_true = rng.standard_normal(40)
+    b = A @ x_true
+    cold = pcg(DenseOp(A), b, eps=1e-10, max_iter=1000)
+    warm = pcg(
+        DenseOp(A), b, x0=x_true + 1e-6 * rng.standard_normal(40),
+        eps=1e-10, max_iter=1000,
+    )
+    assert warm.iterations[0] < cold.iterations[0]
+
+
+def test_history_recording():
+    A = spd(20, seed=11)
+    b = np.ones(20)
+    res = pcg(DenseOp(A), b, eps=1e-8, record_history=True)
+    h = res.residual_history
+    assert h is not None
+    assert h.shape[0] == res.loop_iterations + 1
+    assert h[0, 0] == pytest.approx(res.initial_relres[0])
+    assert h[-1, 0] < 1e-8
+
+
+def test_iteration_cap_reported():
+    A = spd(50, seed=12, cond=1e6)
+    b = np.ones(50)
+    res = pcg(DenseOp(A), b, eps=1e-14, max_iter=3)
+    assert not res.converged.all()
+    assert res.loop_iterations == 3
+    assert res.iterations[0] == 3
+
+
+def test_preconditioner_reduces_iterations():
+    rng = np.random.default_rng(13)
+    nb = 15
+    blocks = rng.standard_normal((nb, 3, 3))
+    blocks = np.einsum("bij,bkj->bik", blocks, blocks) + 3 * np.eye(3)
+    A = np.zeros((3 * nb, 3 * nb))
+    for i in range(nb):
+        A[3 * i : 3 * i + 3, 3 * i : 3 * i + 3] = blocks[i] * (1 + 10 * i)
+    A += 0.05 * spd(3 * nb, seed=14)
+    b = rng.standard_normal(3 * nb)
+    diag = np.stack([A[3 * i : 3 * i + 3, 3 * i : 3 * i + 3] for i in range(nb)])
+    plain = pcg(DenseOp(A), b, eps=1e-10, max_iter=2000)
+    prec = pcg(DenseOp(A), b, precond=BlockJacobi(diag), eps=1e-10, max_iter=2000)
+    assert prec.iterations[0] < plain.iterations[0]
+
+
+def test_shape_mismatch_raises():
+    A = spd(6)
+    with pytest.raises(ValueError):
+        pcg(DenseOp(A), np.ones(6), x0=np.ones(5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_cg_solves_random_spd(n, seed):
+    """CG must solve any (reasonably conditioned) SPD system to the
+    requested relative residual."""
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((n, n))
+    A = M @ M.T + n * np.eye(n)
+    b = rng.standard_normal(n)
+    res = pcg(DenseOp(A), b, eps=1e-9, max_iter=10 * n)
+    assert res.converged.all()
+    assert np.linalg.norm(A @ res.x - b) <= 1e-8 * max(np.linalg.norm(b), 1e-30)

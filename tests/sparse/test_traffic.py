@@ -1,0 +1,58 @@
+"""Analytic kernel traffic models."""
+
+import pytest
+
+from repro.sparse.traffic import crs_traffic, ebe_traffic, vector_traffic
+
+
+def test_crs_flops():
+    w = crs_traffic(nnzb=100, n_block_rows=10)
+    assert w.flops == 18.0 * 100
+
+
+def test_crs_bytes_components():
+    w = crs_traffic(nnzb=100, n_block_rows=10)
+    assert w.bytes == 76 * 100 + 4 * 11 + 16 * 30
+
+
+def test_ebe_fusion_amortizes_fixed_traffic():
+    w1 = ebe_traffic(n_elems=1000, n_nodes=1500, n_rhs=1)
+    w4 = ebe_traffic(n_elems=1000, n_nodes=1500, n_rhs=4)
+    assert w4.bytes < w1.bytes  # per-case bytes drop
+    assert w4.intensity > w1.intensity  # arithmetic intensity rises
+
+
+def test_ebe_fusion_limit():
+    """As r grows, per-case bytes approach the pure vector traffic."""
+    w_inf = ebe_traffic(n_elems=1000, n_nodes=1500, n_rhs=10_000)
+    assert w_inf.bytes == pytest.approx(48.0 * 1500, rel=0.01)
+
+
+def test_ebe_vs_crs_traffic_reduction():
+    """Paper §3.3: CRS -> EBE cut memory transfer ~12.9x on their mesh
+    (29 blocks/row, 1.36 nodes/elem).  The analytic models must show a
+    large reduction of the same order."""
+    n_nodes = 15_509_903
+    n_elems = 11_365_697
+    nnzb = 29 * n_nodes
+    crs = crs_traffic(nnzb, n_nodes)
+    ebe = ebe_traffic(n_elems, n_nodes, n_rhs=1)
+    ratio = crs.bytes / ebe.bytes
+    assert 8 < ratio < 25
+
+
+def test_ebe_rejects_bad_rhs():
+    with pytest.raises(ValueError):
+        ebe_traffic(10, 10, n_rhs=0)
+
+
+def test_vector_traffic():
+    w = vector_traffic(1000, n_reads=2, n_writes=1, flops_per_entry=2.0)
+    assert w.flops == 2000
+    assert w.bytes == 8 * 1000 * 3
+
+
+def test_intensity_infinite_when_no_bytes():
+    from repro.sparse.traffic import KernelWork
+
+    assert KernelWork(flops=10.0, bytes=0.0).intensity == float("inf")

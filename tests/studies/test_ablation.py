@@ -1,0 +1,56 @@
+"""Predictor ablation study."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forces
+from repro.studies.ablation import (
+    ABLATION_VARIANTS,
+    run_predictor_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def ablation(ground_problem):
+    force = bench_forces(ground_problem, 1, seed0=3)[0]
+    return run_predictor_ablation(ground_problem, force, nt=48, s=8,
+                                  n_regions=4)
+
+
+def test_all_variants_present(ablation):
+    assert set(ablation) == set(ABLATION_VARIANTS)
+    for arm in ablation.values():
+        assert arm.iterations.shape == (48,)
+        assert np.isfinite(arm.initial_relres).all()
+
+
+def test_data_driven_beats_ab_in_free_vibration(ablation):
+    """All data-driven arms must beat AB once the source is quiet."""
+    w = slice(36, 48)
+    ab = ablation["ab-only"].mean_iterations(w)
+    for arm in ("dd-global", "dd-noforce", "dd-full"):
+        assert ablation[arm].mean_iterations(w) < ab, arm
+
+
+def test_initial_residual_improves(ablation):
+    w = slice(36, 48)
+    ab = ablation["ab-only"].median_initial_relres(w)
+    dd = ablation["dd-full"].median_initial_relres(w)
+    assert dd < 0.5 * ab
+
+
+def test_full_not_worse_than_noforce(ablation):
+    """The force input must never hurt in free vibration (it adds
+    information that is zero there) and helps during forcing."""
+    w = slice(36, 48)
+    assert (
+        ablation["dd-full"].mean_iterations(w)
+        <= ablation["dd-noforce"].mean_iterations(w) * 1.1
+    )
+
+
+def test_unknown_variant_rejected(ground_problem):
+    force = bench_forces(ground_problem, 1)[0]
+    with pytest.raises(ValueError):
+        run_predictor_ablation(ground_problem, force, nt=2,
+                               variants=("magic",))

@@ -1,0 +1,109 @@
+"""Architectural sensitivity study."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_forces  # reuse the tuned forcing
+from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+from repro.studies.sensitivity import (
+    SWEEPABLE_PARAMETERS,
+    characterize_pipeline,
+    modeled_step_time,
+    scaled_module,
+    sweep_parameter,
+)
+
+
+@pytest.fixture(scope="module")
+def profile(ground_problem):
+    forces = bench_forces(ground_problem, 4)
+    return characterize_pipeline(ground_problem, forces, nt=16,
+                                 window_start=10, s=6, n_regions=4)
+
+
+def test_profile_contents(profile, ground_problem):
+    assert profile.n_dofs == ground_problem.n_dofs
+    assert profile.r_cases == 2
+    assert profile.iterations > 0
+    assert profile.solver.total_flops() > 0
+    assert profile.predictor.total_flops() > 0
+    assert profile.transfer_bytes == 8.0 * ground_problem.n_dofs * 2
+
+
+def test_modeled_step_time_components(profile):
+    r = modeled_step_time(profile, SINGLE_GH200)
+    assert r["t_step"] > 0
+    assert r["t_step"] >= 2 * max(r["t_solver_phase"], r["t_predictor_phase"])
+    assert r["energy_per_step"] > 0
+    assert 0 < r["module_power"] < SINGLE_GH200.power_cap * 1.2
+
+
+def test_scaled_module_single_param():
+    m = scaled_module(SINGLE_GH200, "gpu.peak_flops", 2.0)
+    assert m.gpu.peak_flops == pytest.approx(2 * SINGLE_GH200.gpu.peak_flops)
+    assert m.cpu.peak_flops == SINGLE_GH200.cpu.peak_flops
+    m2 = scaled_module(SINGLE_GH200, "c2c.bandwidth", 0.5)
+    assert m2.c2c_bandwidth == pytest.approx(0.5 * SINGLE_GH200.c2c_bandwidth)
+    m3 = scaled_module(ALPS_MODULE, "power_cap", 1.5)
+    assert m3.power_cap == pytest.approx(1.5 * 634.0)
+
+
+def test_scaled_module_validation():
+    with pytest.raises(ValueError):
+        scaled_module(SINGLE_GH200, "gpu.peak_flops", 0.0)
+    with pytest.raises(ValueError):
+        scaled_module(SINGLE_GH200, "tpu.peak_flops", 1.0)
+    with pytest.raises(ValueError):
+        scaled_module(SINGLE_GH200, "gpu.nonsense", 1.0)
+    with pytest.raises(ValueError):
+        scaled_module(SINGLE_GH200, "weird", 1.0)
+
+
+@pytest.mark.parametrize("param", SWEEPABLE_PARAMETERS)
+def test_all_parameters_sweepable(profile, param):
+    pts = sweep_parameter(profile, SINGLE_GH200, param, [0.5, 1.0, 2.0])
+    assert len(pts) == 3
+    assert all(p.t_step > 0 for p in pts)
+
+
+def test_gpu_flops_dominates_ebe_step(profile):
+    """EBE solver is flop-bound: doubling GPU flops must speed the step
+    up far more than doubling C2C bandwidth."""
+    gpu = sweep_parameter(profile, SINGLE_GH200, "gpu.peak_flops", [1.0, 2.0])
+    c2c = sweep_parameter(profile, SINGLE_GH200, "c2c.bandwidth", [1.0, 2.0])
+    gain_gpu = gpu[0].t_step / gpu[1].t_step
+    gain_c2c = c2c[0].t_step / c2c[1].t_step
+    assert gain_gpu > gain_c2c
+    assert gain_gpu > 1.2
+
+
+def test_cpu_bandwidth_matters_only_until_hidden(profile):
+    """Faster CPU memory shortens the predictor phase; once the
+    predictor is hidden the step time stops improving."""
+    pts = sweep_parameter(profile, SINGLE_GH200, "cpu.mem_bandwidth",
+                          [0.25, 1.0, 4.0, 16.0])
+    t = [p.t_step for p in pts]
+    assert t[0] >= t[1] >= t[2] >= t[3]
+    # saturation: the last doubling buys much less than the first
+    first_gain = t[0] / t[1]
+    last_gain = t[2] / t[3]
+    assert last_gain <= first_gain + 1e-9
+
+
+def test_power_cap_throttles_alps(profile):
+    """Lowering the cap below CPU+GPU demand slows the step (the Alps
+    effect); raising it past demand changes nothing."""
+    pts = sweep_parameter(profile, ALPS_MODULE, "power_cap", [0.7, 1.0, 2.0])
+    assert pts[0].t_step >= pts[1].t_step >= pts[2].t_step
+    # generous cap == uncapped single-GH200-style behaviour
+    generous = pts[2]
+    more = sweep_parameter(profile, ALPS_MODULE, "power_cap", [4.0])[0]
+    assert more.t_step == pytest.approx(generous.t_step, rel=1e-6)
+
+
+def test_characterize_validation(ground_problem):
+    forces = bench_forces(ground_problem, 3)
+    with pytest.raises(ValueError):
+        characterize_pipeline(ground_problem, forces[:3])
+    with pytest.raises(ValueError):
+        characterize_pipeline(ground_problem, forces[:2], nt=4, window_start=10)

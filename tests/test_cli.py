@@ -1,0 +1,70 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_commands():
+    p = build_parser()
+    for cmd in (["models"], ["info"], ["run"], ["sensitivity"]):
+        args = p.parse_args(cmd)
+        assert args.command == cmd[0]
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for name in ("stratified", "basin", "slanted"):
+        assert name in out
+
+
+def test_info_command(capsys):
+    assert main(["info", "--model", "basin", "--resolution", "2,2,1"]) == 0
+    out = capsys.readouterr().out
+    assert "dofs" in out
+    assert "EBE storage" in out
+
+
+def test_run_command(capsys, tmp_path):
+    rc = main([
+        "run", "--model", "stratified", "--resolution", "2,2,1",
+        "--method", "ebe-mcg@cpu-gpu", "--cases", "2", "--steps", "4",
+        "--s-min", "2", "--s-max", "4",
+        "--json", str(tmp_path / "out.json"),
+        "--vtk", str(tmp_path / "out.vtk"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "elapsed_per_step_per_case_s" in out
+    assert (tmp_path / "out.json").exists()
+    assert (tmp_path / "out.vtk").exists()
+
+
+def test_run_baseline_on_alps(capsys):
+    rc = main([
+        "run", "--model", "stratified", "--resolution", "2,2,1",
+        "--method", "crs-cg@gpu", "--cases", "1", "--steps", "3",
+        "--module", "alps",
+    ])
+    assert rc == 0
+    assert "crs-cg@gpu" in capsys.readouterr().out
+
+
+def test_sensitivity_command(capsys):
+    rc = main([
+        "sensitivity", "--model", "stratified", "--resolution", "2,2,1",
+        "--param", "gpu.peak_flops", "--factors", "1,2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_bad_inputs():
+    with pytest.raises(SystemExit):
+        main(["run", "--model", "mars", "--resolution", "2,2,1", "--steps", "1"])
+    with pytest.raises(SystemExit):
+        main(["run", "--resolution", "2,2", "--steps", "1"])
+    with pytest.raises(SystemExit):
+        main(["run", "--resolution", "2,2,1", "--method", "magic"])

@@ -1,0 +1,89 @@
+"""Unit tests for the simulated timeline."""
+
+import pytest
+
+from repro.util.timeline import Timeline
+
+
+def test_sequential_scheduling_on_one_lane():
+    tl = Timeline()
+    a = tl.schedule("gpu", "k1", 1.0)
+    b = tl.schedule("gpu", "k2", 2.0)
+    assert a.start == 0.0 and a.end == 1.0
+    assert b.start == 1.0 and b.end == 3.0
+    assert tl.makespan == 3.0
+
+
+def test_lanes_are_independent():
+    tl = Timeline()
+    tl.schedule("cpu", "pred", 5.0)
+    tl.schedule("gpu", "solve", 2.0)
+    assert tl.now("cpu") == 5.0
+    assert tl.now("gpu") == 2.0
+    assert tl.makespan == 5.0
+
+
+def test_barrier_aligns_lanes():
+    tl = Timeline()
+    tl.schedule("cpu", "pred", 5.0)
+    tl.schedule("gpu", "solve", 2.0)
+    t = tl.barrier(["cpu", "gpu"])
+    assert t == 5.0
+    assert tl.now("gpu") == 5.0
+
+
+def test_not_before_dependency():
+    tl = Timeline()
+    tl.schedule("gpu", "solve", 2.0)
+    iv = tl.schedule("c2c", "xfer", 0.5, not_before=2.0)
+    assert iv.start == 2.0
+
+
+def test_negative_duration_rejected():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.schedule("gpu", "bad", -1.0)
+
+
+def test_busy_time_and_utilization():
+    tl = Timeline()
+    tl.schedule("gpu", "a", 1.0)
+    tl.schedule("cpu", "b", 3.0)
+    tl.barrier(["cpu", "gpu"])
+    tl.schedule("gpu", "c", 1.0)
+    assert tl.busy_time("gpu") == 2.0
+    assert tl.makespan == 4.0
+    assert tl.utilization("gpu") == pytest.approx(0.5)
+
+
+def test_busy_time_by_label():
+    tl = Timeline()
+    tl.schedule("gpu", "solver", 1.0)
+    tl.schedule("gpu", "solver", 2.0)
+    tl.schedule("gpu", "other", 0.5)
+    by = tl.busy_time_by_label("gpu")
+    assert by["solver"] == 3.0
+    assert by["other"] == 0.5
+
+
+def test_validate_passes_for_well_formed():
+    tl = Timeline()
+    tl.schedule("gpu", "a", 1.0)
+    tl.schedule("gpu", "b", 1.0)
+    tl.schedule("cpu", "c", 5.0)
+    tl.validate()
+
+
+def test_empty_timeline():
+    tl = Timeline()
+    assert tl.makespan == 0.0
+    assert tl.utilization("gpu") == 0.0
+    tl.validate()
+
+
+def test_barrier_with_at_least():
+    tl = Timeline()
+    tl.schedule("cpu", "a", 1.0)
+    t = tl.barrier(["cpu", "gpu"], at_least=10.0)
+    assert t == 10.0
+    assert tl.now("gpu") == 10.0

@@ -1,0 +1,96 @@
+"""The three ground-structure workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ground import (
+    BEDROCK,
+    DOMAIN,
+    GROUND_MODELS,
+    SEDIMENT,
+    basin_model,
+    build_ground_problem,
+    slanted_model,
+    stratified_model,
+    suggested_dt,
+)
+
+
+def test_registry_complete():
+    assert set(GROUND_MODELS) == {"stratified", "basin", "slanted"}
+    for factory in GROUND_MODELS.values():
+        m = factory()
+        assert callable(m.interface)
+
+
+def test_stratified_interface_flat():
+    m = stratified_model(layer_depth=60.0)
+    x = np.linspace(0, DOMAIN[0], 5)
+    z = m.interface(x, x)
+    np.testing.assert_allclose(z, DOMAIN[2] - 60.0)
+
+
+def test_basin_deepest_at_center():
+    m = basin_model(edge_depth=30.0, center_depth=90.0)
+    lx, ly, lz = DOMAIN
+    z_center = m.interface(np.array([lx / 2]), np.array([ly / 2]))[0]
+    z_corner = m.interface(np.array([0.0]), np.array([0.0]))[0]
+    assert z_center == pytest.approx(lz - 90.0)
+    assert z_corner == pytest.approx(lz - 30.0)
+    assert z_center < z_corner
+
+
+def test_slanted_monotone_in_x():
+    m = slanted_model(min_depth=20.0, max_depth=100.0)
+    lx, _, lz = DOMAIN
+    xs = np.linspace(0, lx, 6)
+    z = m.interface(xs, np.zeros_like(xs))
+    assert np.all(np.diff(z) < 0)  # interface deepens with x
+    assert z[0] == pytest.approx(lz - 20.0)
+    assert z[-1] == pytest.approx(lz - 100.0)
+
+
+def test_material_assignment_stratified():
+    from repro.fem.mesh import structured_box
+
+    m = stratified_model(layer_depth=60.0)
+    mesh = structured_box(4, 4, 4, *DOMAIN)
+    rho, vp, vs = m.element_materials(mesh)
+    c = mesh.element_centroids()
+    z_int = DOMAIN[2] - 60.0
+    soft = c[:, 2] >= z_int
+    assert np.all(vs[soft] == SEDIMENT.vs)
+    assert np.all(vs[~soft] == BEDROCK.vs)
+    # both materials present
+    assert soft.any() and (~soft).any()
+
+
+@pytest.mark.parametrize("name", ["stratified", "basin", "slanted"])
+def test_build_problem_all_models(name):
+    p = build_ground_problem(GROUND_MODELS[name](), resolution=(3, 3, 2))
+    assert p.n_dofs > 0
+    assert p.dt > 0
+    assert p.fixed_nodes.size > 0
+    # effective operator is applicable
+    x = np.random.default_rng(0).standard_normal(p.n_dofs)
+    y = p.ebe_operator() @ x
+    assert np.isfinite(y).all()
+
+
+def test_suggested_dt_dimensionless_group():
+    """vp_max * dt / h_min == courant by construction."""
+    from repro.fem.mesh import structured_box
+
+    mesh = structured_box(4, 4, 2, 100.0, 100.0, 40.0)
+    vp = 2000.0
+    dt = suggested_dt(mesh, vp, courant=2.0)
+    h_min = 20.0  # 40 m / 2 cells vertically
+    assert vp * dt / h_min == pytest.approx(2.0)
+
+
+def test_custom_dims():
+    p = build_ground_problem(
+        stratified_model(), resolution=(2, 2, 2), dims=(100.0, 100.0, 50.0)
+    )
+    lo, hi = p.mesh.bounds()
+    np.testing.assert_allclose(hi - lo, [100.0, 100.0, 50.0])
