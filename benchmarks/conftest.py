@@ -19,6 +19,16 @@ import pathlib
 import numpy as np
 import pytest
 
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Every benchmark is ``slow``: tier-1 (`pytest -q`) deselects them
+    by default (see pyproject.toml); run with ``-m slow``."""
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
 from repro.analysis.waves import BandlimitedImpulse
 from repro.core.problem import ElasticProblem
 from repro.workloads.ground import build_ground_problem, stratified_model

@@ -3,7 +3,7 @@ connected CPU-GPU environment: fast multiple time-evolution
 equation-based modeling accelerated using data-driven approach"
 (Ichimura et al., SC 2024).
 
-Quick start::
+Quick start — one ensemble run::
 
     from repro import build_ground_problem, stratified_model, run_method
     from repro.analysis import ImpulseForce
@@ -12,6 +12,32 @@ Quick start::
     forces = [ImpulseForce.random(problem.mesh, rng=i) for i in range(8)]
     result = run_method(problem, forces, nt=40, method="ebe-mcg@cpu-gpu")
     print(result.summary())
+
+Many scenarios at once — a *campaign* (grid of ground models x input
+waves x methods x resolutions, cached on disk, optionally executed
+over a process pool)::
+
+    from repro.campaign import (CampaignRunner, CampaignSpec,
+                                ResultStore, default_waves)
+
+    spec = CampaignSpec(
+        name="demo",
+        models=("stratified", "basin", "slanted"),
+        waves=default_waves(2),
+        methods=("crs-cg@gpu", "ebe-mcg@cpu-gpu"),
+        resolutions=((3, 3, 2),),
+        cases=2, steps=8,
+    )
+    report = CampaignRunner(store=ResultStore("campaign-results"),
+                            jobs=4).run(spec)
+    print(report.render())   # per-method + per-scenario tables
+
+A second ``run`` of the same spec is pure cache hits: every cell is
+keyed by a content hash of its parameters, and per-cell RNG seeds are
+content-derived, so results never depend on grid shape or worker
+placement.  The same engine is exposed as ``python -m repro campaign``
+and underlies the design studies (``repro.studies``); see
+``examples/campaign_sweep.py`` for an end-to-end script.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-table reproductions.

@@ -1,0 +1,53 @@
+"""Many-scenario campaign engine.
+
+The paper's throughput story is about *ensembles*: many ground
+structures x many input waves x several methods, all day long.  This
+package turns that into a first-class subsystem:
+
+* :mod:`~repro.campaign.spec` — declarative :class:`CampaignSpec`
+  grids expanded into content-hashed :class:`CampaignCell` work items
+  with deterministic per-cell RNG seeds;
+* :mod:`~repro.campaign.store` — on-disk :class:`ResultStore` with
+  content-hash caching (re-runs skip every already-computed cell);
+* :mod:`~repro.campaign.runner` — :class:`CampaignRunner` executing
+  cells inline or over a ``concurrent.futures`` process pool, with a
+  per-kind executor registry that the study modules plug into;
+* :mod:`~repro.campaign.aggregate` — :class:`CampaignReport`
+  per-method / per-scenario summary tables.
+
+CLI: ``python -m repro campaign --models stratified,basin,slanted
+--waves 2 --methods crs-cg@gpu,ebe-mcg@cpu-gpu --jobs 2``.
+"""
+
+from repro.campaign.aggregate import CampaignReport, format_table
+from repro.campaign.runner import (
+    CELL_EXECUTORS,
+    CampaignRunner,
+    CellOutcome,
+    register_executor,
+)
+from repro.campaign.spec import (
+    CampaignCell,
+    CampaignSpec,
+    WaveSpec,
+    cell_key,
+    default_waves,
+    derive_seed,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignCell",
+    "WaveSpec",
+    "cell_key",
+    "derive_seed",
+    "default_waves",
+    "CampaignRunner",
+    "CellOutcome",
+    "CELL_EXECUTORS",
+    "register_executor",
+    "ResultStore",
+    "CampaignReport",
+    "format_table",
+]

@@ -1,0 +1,173 @@
+"""Campaign aggregation: per-method / per-scenario summary tables.
+
+A campaign produces one result document per cell; the report distils
+them into the cross-sections the paper reasons about — how does each
+*method* fare over all scenarios (Table 3's rows, generalized), and
+how hard is each *scenario* (ground model x wave) across methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner -> here)
+    from repro.campaign.runner import CellOutcome
+    from repro.campaign.spec import CampaignSpec
+
+__all__ = ["CampaignReport", "format_table"]
+
+
+def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table (same layout the benchmarks emit)."""
+    if not rows:
+        return f"{title}\n{'=' * len(title)}\n(no rows)\n"
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign run, with aggregation helpers."""
+
+    spec: "CampaignSpec"
+    outcomes: list["CellOutcome"] = field(default_factory=list)
+
+    # -- bookkeeping --------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(o.cached for o in self.outcomes)
+
+    @property
+    def n_computed(self) -> int:
+        return sum(o.ok and not o.cached for o in self.outcomes)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(not o.ok for o in self.outcomes)
+
+    def failures(self) -> list[tuple[str, str]]:
+        return [(o.cell.label, o.error) for o in self.outcomes if not o.ok]
+
+    # -- flat rows ----------------------------------------------------
+    def rows(self) -> list[dict]:
+        """One flat record per successful cell."""
+        out = []
+        for o in self.outcomes:
+            if not o.ok:
+                continue
+            p = o.cell.params
+            s = o.result.get("summary", {})
+            out.append(
+                {
+                    "model": p.get("model"),
+                    "wave": p.get("wave", {}).get("name"),
+                    "method": p.get("method"),
+                    "resolution": "x".join(map(str, p.get("resolution", []))),
+                    "n_dofs": o.result.get("n_dofs"),
+                    "cached": o.cached,
+                    "elapsed_per_step_per_case_s": s.get(
+                        "elapsed_per_step_per_case_s"
+                    ),
+                    "iterations_per_step": s.get("iterations_per_step"),
+                    "energy_per_step_per_case_J": s.get(
+                        "energy_per_step_per_case_J"
+                    ),
+                }
+            )
+        return out
+
+    # -- cross-sections -----------------------------------------------
+    def _grouped(self, key_fn) -> dict[tuple, list[dict]]:
+        groups: dict[tuple, list[dict]] = {}
+        for row in self.rows():
+            groups.setdefault(key_fn(row), []).append(row)
+        return groups
+
+    @staticmethod
+    def _agg(rows: list[dict]) -> dict:
+        def mean_of(k):
+            vals = [r[k] for r in rows if r[k] is not None]
+            return float(np.mean(vals)) if vals else float("nan")
+
+        return {
+            "n_cells": len(rows),
+            "elapsed_per_step_per_case_s": mean_of("elapsed_per_step_per_case_s"),
+            "iterations_per_step": mean_of("iterations_per_step"),
+            "energy_per_step_per_case_J": mean_of("energy_per_step_per_case_J"),
+        }
+
+    def by_method(self) -> dict[str, dict]:
+        """Mean per-cell metrics for each method over all scenarios."""
+        return {
+            k[0]: self._agg(rows)
+            for k, rows in sorted(self._grouped(lambda r: (r["method"],)).items())
+        }
+
+    def by_scenario(self) -> dict[tuple[str, str], dict]:
+        """Mean per-cell metrics for each (model, wave) scenario."""
+        return {
+            k: self._agg(rows)
+            for k, rows in sorted(
+                self._grouped(lambda r: (r["model"], r["wave"])).items()
+            )
+        }
+
+    # -- rendering ----------------------------------------------------
+    def method_table(self) -> str:
+        rows = [
+            [
+                m,
+                str(a["n_cells"]),
+                f"{a['elapsed_per_step_per_case_s']:.3e}",
+                f"{a['iterations_per_step']:.1f}",
+                f"{a['energy_per_step_per_case_J']:.3e}",
+            ]
+            for m, a in self.by_method().items()
+        ]
+        return format_table(
+            f"campaign {self.spec.name}: per-method summary",
+            ["method", "cells", "t/step/case [s]", "iters/step", "J/step/case"],
+            rows,
+        )
+
+    def scenario_table(self) -> str:
+        rows = [
+            [
+                model,
+                wave,
+                str(a["n_cells"]),
+                f"{a['elapsed_per_step_per_case_s']:.3e}",
+                f"{a['iterations_per_step']:.1f}",
+            ]
+            for (model, wave), a in self.by_scenario().items()
+        ]
+        return format_table(
+            f"campaign {self.spec.name}: per-scenario summary",
+            ["model", "wave", "cells", "t/step/case [s]", "iters/step"],
+            rows,
+        )
+
+    def cache_line(self) -> str:
+        return (
+            f"cells: {self.n_cells} total, {self.n_computed} computed, "
+            f"{self.n_cached} cache hits, {self.n_failed} failed"
+        )
+
+    def render(self) -> str:
+        parts = [self.method_table(), self.scenario_table(), self.cache_line()]
+        if self.n_failed:
+            parts.append("failures:")
+            parts.extend(f"  {label}: {err}" for label, err in self.failures())
+        return "\n".join(parts)

@@ -1,0 +1,248 @@
+"""Campaign execution engine.
+
+The runner turns a list of :class:`~repro.campaign.spec.CampaignCell`
+work items into results:
+
+1. probe the :class:`~repro.campaign.store.ResultStore` — cells whose
+   content hash already has an artifact are *cache hits* and are never
+   recomputed;
+2. execute the misses, inline for ``jobs=1`` or through a
+   ``concurrent.futures`` process pool (a worker initializer imports
+   the study modules so every executor kind is registered under any
+   multiprocessing start method; each cell rebuilds its problem from
+   the spec parameters, so nothing heavyweight crosses the pickle
+   boundary);
+3. persist each fresh result as soon as it completes (an interrupted
+   campaign keeps every finished cell) and aggregate the outcomes
+   into a :class:`~repro.campaign.aggregate.CampaignReport`.
+
+Executors are registered per cell *kind* with
+:func:`register_executor`; the built-in ``"method"`` kind runs one
+ensemble through :func:`repro.core.methods.run_method`.  Study modules
+register their own kinds (``"ablation"``, ``"sensitivity"``) so their
+sweeps ride the same caching/parallelism machinery.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.campaign.aggregate import CampaignReport
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CELL_EXECUTORS",
+    "register_executor",
+    "CellOutcome",
+    "CampaignRunner",
+    "run_method_cell",
+]
+
+#: kind -> executor(params) -> JSON-able result dict.
+CELL_EXECUTORS: dict[str, Callable[[dict], dict]] = {}
+
+
+def register_executor(kind: str):
+    """Decorator registering an executor for one cell kind."""
+
+    def deco(fn: Callable[[dict], dict]):
+        CELL_EXECUTORS[kind] = fn
+        return fn
+
+    return deco
+
+
+def _worker_init() -> None:
+    """Process-pool initializer: make sure every built-in executor is
+    registered in the worker regardless of the multiprocessing start
+    method (fork inherits the registry; spawn/forkserver re-import only
+    this module, so the study kinds must be imported explicitly)."""
+    with contextlib.suppress(ImportError):
+        import repro.studies  # noqa: F401 - registers ablation/sensitivity
+
+
+def _execute_cell(kind: str, params: dict) -> dict:
+    """Module-level worker entry point (must stay picklable)."""
+    try:
+        fn = CELL_EXECUTORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"no executor registered for cell kind {kind!r}; "
+            f"known kinds: {sorted(CELL_EXECUTORS)}"
+        ) from None
+    return fn(params)
+
+
+@register_executor("method")
+def run_method_cell(params: dict) -> dict:
+    """Run one campaign grid cell: an ensemble of ``cases`` random-wave
+    inputs on one ground model / method / resolution.
+
+    Per-case forces come from RNG streams spawned off the cell's
+    content-derived seed, so results are independent of worker
+    placement and grid composition.
+    """
+    import numpy as np
+
+    from repro.analysis.waves import BandlimitedImpulse
+    from repro.core.methods import run_method
+    from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+    from repro.util.rng import spawn_rngs
+    from repro.workloads.ground import GROUND_MODELS, build_ground_problem
+
+    model = GROUND_MODELS[params["model"]]()
+    problem = build_ground_problem(
+        model, resolution=tuple(params["resolution"])
+    )
+    wave = params["wave"]
+    f0 = wave["f0_factor"] / (np.pi * problem.dt)
+    rngs = spawn_rngs(params["seed"], params["cases"])
+    forces = [
+        BandlimitedImpulse.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"],
+            f0=f0,
+            cycles_to_onset=wave["cycles_to_onset"],
+        )
+        for rng in rngs
+    ]
+    steps = params["steps"]
+    result = run_method(
+        problem,
+        forces,
+        nt=steps,
+        method=params["method"],
+        module=SINGLE_GH200 if params["module"] == "single-gh200" else ALPS_MODULE,
+        eps=params["eps"],
+        s_range=(params["s_min"], params["s_max"]),
+    )
+    window = (max(1, steps * 5 // 8), steps + 1)
+    return {
+        "summary": result.summary(window),
+        "window": list(window),
+        "n_dofs": problem.n_dofs,
+        "iterations_per_step": result.iterations_per_step(window),
+    }
+
+
+@dataclass
+class CellOutcome:
+    """One cell's fate in a campaign run."""
+
+    cell: CampaignCell
+    result: dict | None
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def key(self) -> str:
+        return self.cell.key
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class CampaignRunner:
+    """Executes campaign cells with caching and optional parallelism.
+
+    Parameters
+    ----------
+    store : result store for cache probes and persistence; ``None``
+        disables caching (every cell recomputes).
+    jobs : worker processes; ``1`` executes inline (deterministic
+        ordering, easiest to debug), ``>1`` fans the misses out over a
+        process pool.
+    """
+
+    def __init__(self, store: ResultStore | None = None, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.store = store
+        self.jobs = jobs
+
+    def run(self, spec: CampaignSpec) -> CampaignReport:
+        """Run a grid campaign and write the store manifest."""
+        outcomes = self.run_cells(spec.cells())
+        if self.store is not None:
+            self.store.write_manifest(
+                {
+                    "spec": spec.to_dict(),
+                    "cells": [
+                        {"key": o.key, "label": o.cell.label, "cached": o.cached,
+                         "ok": o.ok}
+                        for o in outcomes
+                    ],
+                }
+            )
+        return CampaignReport(spec=spec, outcomes=outcomes)
+
+    def run_cells(self, cells: Sequence[CampaignCell]) -> list[CellOutcome]:
+        """Core engine: probe cache, execute misses, persist results.
+
+        Returns outcomes in the input cell order regardless of worker
+        completion order.
+        """
+        outcomes: dict[int, CellOutcome] = {}
+        misses: list[int] = []
+        for i, cell in enumerate(cells):
+            cached = None
+            if self.store is not None and self.store.has(cell.key):
+                try:
+                    cached = self.store.load(cell.key)["result"]
+                except (ValueError, KeyError, OSError):
+                    cached = None  # corrupt artifact -> recompute
+            if cached is not None:
+                outcomes[i] = CellOutcome(cell=cell, result=cached, cached=True)
+            else:
+                misses.append(i)
+
+        if misses and self.jobs == 1:
+            for i in misses:
+                outcomes[i] = self._finish(self._execute_one(cells[i]))
+        elif misses:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(misses)),
+                initializer=_worker_init,
+            ) as pool:
+                futs = {
+                    pool.submit(_execute_cell, cells[i].kind, cells[i].params): i
+                    for i in misses
+                }
+                for fut in concurrent.futures.as_completed(futs):
+                    i = futs[fut]
+                    try:
+                        outcome = CellOutcome(cell=cells[i], result=fut.result())
+                    except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                        outcome = CellOutcome(
+                            cell=cells[i], result=None,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    outcomes[i] = self._finish(outcome)
+        return [outcomes[i] for i in range(len(cells))]
+
+    def _finish(self, outcome: CellOutcome) -> CellOutcome:
+        """Persist a fresh result the moment it exists, so an
+        interrupted campaign keeps every completed cell."""
+        if self.store is not None and outcome.ok:
+            self.store.save(outcome.cell, outcome.result)
+        return outcome
+
+    def _execute_one(self, cell: CampaignCell) -> CellOutcome:
+        try:
+            return CellOutcome(cell=cell, result=_execute_cell(cell.kind, cell.params))
+        except Exception as exc:  # noqa: BLE001 - per-cell isolation
+            return CellOutcome(
+                cell=cell,
+                result=None,
+                error="".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip(),
+            )

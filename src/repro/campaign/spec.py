@@ -1,0 +1,238 @@
+"""Declarative campaign specifications.
+
+A *campaign* is the paper's workload at system scale: a grid of
+ground structures x input waves x methods x mesh resolutions, every
+cell of which is an independent ensemble run.  :class:`CampaignSpec`
+describes the grid declaratively; :meth:`CampaignSpec.cells` expands
+it into :class:`CampaignCell` work items with deterministic, content-
+derived RNG seeds, so a cell's numerics never depend on how many other
+cells share the grid or which worker executes it.
+
+Cells are identified by a content hash of their parameters — the key
+of the on-disk :class:`~repro.campaign.store.ResultStore` — which is
+what makes re-runs skip already-computed cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "WaveSpec",
+    "CampaignCell",
+    "CampaignSpec",
+    "cell_key",
+    "default_waves",
+]
+
+#: Methods that pair two process sets and therefore need even ensembles.
+_HETEROGENEOUS = ("crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu")
+
+
+def _canonical(params: dict) -> str:
+    """Stable JSON encoding used for hashing and storage."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def cell_key(kind: str, params: dict) -> str:
+    """Content hash identifying one campaign cell (store filename)."""
+    digest = hashlib.sha256(f"{kind}:{_canonical(params)}".encode())
+    return digest.hexdigest()[:24]
+
+
+def derive_seed(*parts) -> int:
+    """Deterministic 32-bit seed from arbitrary labelled parts.
+
+    Content-derived (not index-derived): growing the grid never
+    changes the seed — and hence the cached result — of an existing
+    cell.
+    """
+    text = "|".join(str(p) for p in parts)
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:4], "little")
+
+
+@dataclass(frozen=True)
+class WaveSpec:
+    """One input-wave family: a band-limited random surface impulse.
+
+    ``f0_factor`` scales the Ricker center frequency relative to the
+    time step (``f0 = f0_factor / (pi dt)``), so the same wave spec is
+    meaningful across resolutions.
+    """
+
+    name: str
+    amplitude: float = 1e6
+    f0_factor: float = 0.3
+    cycles_to_onset: float = 1.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WaveSpec":
+        return cls(**d)
+
+
+def default_waves(n: int) -> tuple[WaveSpec, ...]:
+    """``n`` distinct wave families with staggered amplitude/frequency."""
+    if n < 1:
+        raise ValueError("need at least one wave")
+    return tuple(
+        WaveSpec(
+            name=f"w{i}",
+            amplitude=1e6 * (1.0 + 0.5 * i),
+            f0_factor=0.3 * (1.0 + 0.25 * (i % 2)),
+        )
+        for i in range(n)
+    )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One executable unit of a campaign.
+
+    ``kind`` selects the registered executor
+    (:data:`repro.campaign.runner.CELL_EXECUTORS`); ``params`` must be
+    JSON-serializable — it is both the executor input and the content
+    that is hashed into the cache key.
+    """
+
+    kind: str
+    params: dict = field(hash=False)
+    label: str = ""
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.kind, self.params)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A grid campaign: ground models x waves x methods x resolutions.
+
+    Every combination becomes one :class:`CampaignCell` running
+    ``cases`` ensemble members for ``steps`` time steps through
+    :func:`repro.core.methods.run_method`.
+    """
+
+    name: str
+    models: tuple[str, ...]
+    waves: tuple[WaveSpec, ...]
+    methods: tuple[str, ...]
+    resolutions: tuple[tuple[int, int, int], ...] = ((2, 2, 1),)
+    cases: int = 2
+    steps: int = 8
+    module: str = "single-gh200"
+    seed: int = 0
+    eps: float = 1e-8
+    s_min: int = 2
+    s_max: int = 8
+
+    def __post_init__(self) -> None:
+        from repro.core.methods import METHODS
+        from repro.workloads.ground import GROUND_MODELS
+
+        object.__setattr__(self, "models", tuple(self.models))
+        object.__setattr__(
+            self,
+            "waves",
+            tuple(
+                w if isinstance(w, WaveSpec) else WaveSpec.from_dict(dict(w))
+                for w in self.waves
+            ),
+        )
+        object.__setattr__(self, "methods", tuple(self.methods))
+        object.__setattr__(
+            self,
+            "resolutions",
+            tuple(tuple(int(x) for x in res) for res in self.resolutions),
+        )
+        if not (self.models and self.waves and self.methods and self.resolutions):
+            raise ValueError("campaign grid has an empty axis")
+        for m in self.models:
+            if m not in GROUND_MODELS:
+                raise ValueError(f"unknown ground model {m!r}")
+        for m in self.methods:
+            if m not in METHODS:
+                raise ValueError(f"unknown method {m!r}; choose from {METHODS}")
+        for res in self.resolutions:
+            if len(res) != 3 or any(x < 1 for x in res):
+                raise ValueError(f"bad resolution {res!r}")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.cases < 1:
+            raise ValueError("cases must be >= 1")
+        if any(m in _HETEROGENEOUS for m in self.methods) and (
+            self.cases < 2 or self.cases % 2
+        ):
+            raise ValueError(
+                "heterogeneous methods need an even case count >= 2"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.models)
+            * len(self.waves)
+            * len(self.methods)
+            * len(self.resolutions)
+        )
+
+    def cells(self) -> list[CampaignCell]:
+        """Expand the grid in deterministic order."""
+        out: list[CampaignCell] = []
+        for model, wave, method, res in itertools.product(
+            self.models, self.waves, self.methods, self.resolutions
+        ):
+            params = {
+                "model": model,
+                "wave": wave.to_dict(),
+                "method": method,
+                "resolution": list(res),
+                "cases": self.cases,
+                "steps": self.steps,
+                "module": self.module,
+                "eps": self.eps,
+                "s_min": self.s_min,
+                "s_max": self.s_max,
+                "seed": derive_seed(
+                    self.seed, model, wave.name, method, "x".join(map(str, res))
+                ),
+            }
+            out.append(
+                CampaignCell(
+                    kind="method",
+                    params=params,
+                    label=f"{model}/{wave.name}/{method}/"
+                    + "x".join(map(str, res)),
+                )
+            )
+        return out
+
+    # -- (de)serialization --------------------------------------------
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["waves"] = [w.to_dict() for w in self.waves]
+        d["resolutions"] = [list(r) for r in self.resolutions]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignSpec":
+        d = dict(d)
+        unknown = set(d) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys {sorted(unknown)}")
+        return cls(**d)
+
+    def to_json(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+        return path
+
+    @classmethod
+    def from_json(cls, path) -> "CampaignSpec":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,63 @@
+"""On-disk campaign result store with content-hash caching.
+
+Layout under the store root::
+
+    cells/<key>.json     one artifact per computed cell
+    manifest.json        last-run bookkeeping (spec + key list)
+
+The key is the cell's parameter content hash
+(:func:`repro.campaign.spec.cell_key`), so identical cells — across
+re-runs, across campaigns, even across differently-shaped grids —
+share one artifact and are never recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.campaign.spec import CampaignCell
+from repro.io.results import load_campaign_cell, save_campaign_cell
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Content-addressed JSON store for campaign cell results."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.cell_dir = self.root / "cells"
+        self.cell_dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.cell_dir / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def load(self, key: str) -> dict:
+        """Load a cell artifact; raises ``FileNotFoundError`` if absent
+        and ``ValueError`` on a corrupt/mismatched document."""
+        return load_campaign_cell(self.path_for(key))
+
+    def save(self, cell: CampaignCell, result: dict) -> pathlib.Path:
+        doc = {
+            "key": cell.key,
+            "kind": cell.kind,
+            "label": cell.label,
+            "params": cell.params,
+            "result": result,
+        }
+        return save_campaign_cell(doc, self.path_for(cell.key))
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.cell_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def write_manifest(self, doc: dict) -> pathlib.Path:
+        path = self.root / "manifest.json"
+        path.write_text(json.dumps(doc, indent=1))
+        return path

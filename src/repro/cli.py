@@ -11,6 +11,10 @@ Commands
     paper-style summary, optionally save JSON / VTK artifacts.
 ``sensitivity``
     Characterize the workload and sweep an architectural parameter.
+``campaign``
+    Run a many-scenario ensemble campaign (grid of ground models x
+    input waves x methods x resolutions) through the cached, optionally
+    parallel campaign engine, and print aggregated summary tables.
 """
 
 from __future__ import annotations
@@ -59,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated scale factors")
     sens.add_argument("--module", default="single-gh200",
                       choices=["single-gh200", "alps"])
+
+    camp = sub.add_parser("campaign", help="run a many-scenario campaign")
+    camp.add_argument("--spec", default=None,
+                      help="JSON campaign spec (overrides the grid flags)")
+    camp.add_argument("--name", default="campaign")
+    camp.add_argument("--models", default="stratified,basin,slanted",
+                      help="comma-separated ground models")
+    camp.add_argument("--waves", type=int, default=2,
+                      help="number of input-wave families")
+    camp.add_argument("--methods", default="crs-cg@gpu,ebe-mcg@cpu-gpu",
+                      help="comma-separated methods")
+    camp.add_argument("--resolutions", default="2,2,1",
+                      help="semicolon-separated resolutions, e.g. '2,2,1;3,3,2'")
+    camp.add_argument("--cases", type=int, default=2, help="ensemble size per cell")
+    camp.add_argument("--steps", type=int, default=8, help="time steps per cell")
+    camp.add_argument("--module", default="single-gh200",
+                      choices=["single-gh200", "alps"])
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (1 = inline)")
+    camp.add_argument("--store", default="campaign-results",
+                      help="result store directory (content-hash cache)")
+    camp.add_argument("--no-store", action="store_true",
+                      help="disable caching/persistence")
     return p
 
 
@@ -175,6 +203,54 @@ def _cmd_sensitivity(args) -> int:
     return 0
 
 
+def _campaign_spec(args):
+    from repro.campaign import CampaignSpec, default_waves
+
+    if args.spec:
+        try:
+            return CampaignSpec.from_json(args.spec)
+        except FileNotFoundError:
+            raise SystemExit(f"campaign spec not found: {args.spec}") from None
+        except ValueError as exc:  # bad JSON or bad spec contents
+            raise SystemExit(f"bad campaign spec {args.spec}: {exc}") from exc
+    try:
+        resolutions = tuple(
+            tuple(int(x) for x in chunk.split(","))
+            for chunk in args.resolutions.split(";")
+        )
+        return CampaignSpec(
+            name=args.name,
+            models=tuple(args.models.split(",")),
+            waves=default_waves(args.waves),
+            methods=tuple(args.methods.split(",")),
+            resolutions=resolutions,
+            cases=args.cases,
+            steps=args.steps,
+            module=args.module,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad campaign grid: {exc}") from exc
+
+
+def _cmd_campaign(args) -> int:
+    from repro.campaign import CampaignRunner, ResultStore
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    spec = _campaign_spec(args)
+    store = None if args.no_store else ResultStore(args.store)
+    report = CampaignRunner(store=store, jobs=args.jobs).run(spec)
+    print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells "
+          f"({len(spec.models)} models x {len(spec.waves)} waves x "
+          f"{len(spec.methods)} methods x {len(spec.resolutions)} resolutions), "
+          f"jobs={args.jobs}\n")
+    print(report.render())
+    if store is not None:
+        print(f"store -> {store.root}")
+    return 1 if report.n_failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -182,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "run": _cmd_run,
         "sensitivity": _cmd_sensitivity,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -130,6 +130,61 @@ class DistributedEBE:
     def shape(self) -> tuple[int, int]:
         return (self._n_dofs, self._n_dofs)
 
+    def _local_node_index(self, p: int) -> np.ndarray:
+        """global node id -> local node index map of part ``p``."""
+        nodes = self.local_to_global[p]
+        remap = -np.ones(self.info.mesh.n_nodes, dtype=np.int64)
+        remap[nodes] = np.arange(nodes.size)
+        return remap
+
+    def halo_exchange(self, local_values: list[np.ndarray]) -> list[np.ndarray]:
+        """Point-to-point halo summation over per-part nodal vectors.
+
+        ``local_values[p]`` is part ``p``'s local dof vector (one or
+        more RHS columns); the return value adds, for every shared
+        node, every touching part's *pre-exchange* contribution — the
+        MPI algorithm.  Contributions accumulate in ascending part-id
+        order on every part (the standard determinism discipline), so
+        afterwards each part's copy of a shared node holds the
+        bit-identical global sum — the "consistent nodal values" the
+        paper synchronizes for, asserted by
+        :mod:`tests.cluster.test_halo`.
+        """
+        nparts = self.info.nparts
+        if len(local_values) != nparts:
+            raise ValueError("one local vector per part required")
+        originals = [np.array(v, dtype=float, copy=True) for v in local_values]
+        exchanged = [v.copy() for v in originals]
+        remaps = [self._local_node_index(p) for p in range(nparts)]
+
+        def ldofs(part: int, nodes: np.ndarray) -> np.ndarray:
+            return (3 * remaps[part][nodes][:, None]
+                    + np.arange(3)[None, :]).ravel()
+
+        for p in range(nparts):
+            pair_of = {
+                q: self.plan.pair_nodes[(min(p, q), max(p, q))]
+                for q in self.plan.neighbors(p)
+            }
+            if not pair_of:
+                continue
+            own_shared = np.unique(np.concatenate(list(pair_of.values())))
+            exchanged[p][ldofs(p, own_shared)] = 0.0
+            for q in sorted([p, *pair_of]):
+                nodes = own_shared if q == p else pair_of[q]
+                exchanged[p][ldofs(p, nodes)] += originals[q][ldofs(q, nodes)]
+        return exchanged
+
+    def matvec_parts(self, x: np.ndarray) -> list[np.ndarray]:
+        """Per-part local results of one mat-vec *after* the halo
+        exchange (each part's view of the consistent global vector)."""
+        x = np.asarray(x, dtype=float)
+        locals_ = []
+        for op, nodes in zip(self.local_ops, self.local_to_global):
+            ldof = (3 * nodes[:, None] + np.arange(3)[None, :]).ravel()
+            locals_.append(op.matvec(x[ldof]))
+        return self.halo_exchange(locals_)
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Global mat-vec via per-part local sweeps + halo sum."""
         x = np.asarray(x, dtype=float)

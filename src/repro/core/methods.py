@@ -32,27 +32,42 @@ from repro.predictor.adaptive import AdaptiveSController
 from repro.predictor.datadriven import DataDrivenPredictor
 from repro.util.timeline import Timeline
 
-__all__ = ["METHODS", "run_method", "estimate_memory"]
+__all__ = ["METHODS", "run_method", "estimate_memory", "cpu_share_factors"]
 
 METHODS = ("crs-cg@cpu", "crs-cg@gpu", "crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu")
 
 #: Solver working vectors per case (x, r, z, p, q, b, u, v, a, f).
 _VECTORS_PER_CASE = 10
 
+#: Diminishing-returns caps of the per-process CPU share beyond the
+#: 36-core reference: flops stop scaling at 1.5x (SMT/frequency
+#: headroom), bandwidth at 1.2x (LPDDR already near saturation).
+_FLOP_FACTOR_CAP = 1.5
+_BW_FACTOR_CAP = 1.2
 
-def _cpu_factors(threads: int | None) -> tuple[float, float]:
+#: Reference thread count (paper: 36 of 72 Grace cores per process).
+_REFERENCE_THREADS = 36
+
+
+def cpu_share_factors(threads: int | None) -> tuple[float, float]:
     """(flop, bandwidth) derating of the per-process CPU share.
 
     The paper's reference configuration runs the predictor on 36 of 72
     Grace cores per process; the calibrated predictor efficiency
     corresponds to that.  Fewer threads lose compute linearly but
     bandwidth only as ~sqrt (LPDDR saturates below full core count) —
-    this reproduces the Table 4 thread sweep shape.
+    this reproduces the Table 4 thread sweep shape.  Above the
+    reference count both gains are capped (see the cap constants).
     """
-    t = 36 if threads is None else int(threads)
+    t = _REFERENCE_THREADS if threads is None else int(threads)
     if not 1 <= t <= 72:
         raise ValueError("threads must be in 1..72")
-    return min(1.5, t / 36.0), min(1.2, float(np.sqrt(t / 36.0)))
+    ratio = t / _REFERENCE_THREADS
+    return min(_FLOP_FACTOR_CAP, ratio), min(_BW_FACTOR_CAP, float(np.sqrt(ratio)))
+
+
+#: Backwards-compatible private alias.
+_cpu_factors = cpu_share_factors
 
 
 def estimate_memory(
@@ -206,7 +221,7 @@ def _run_heterogeneous(
             eps=eps,
         )
 
-    flop_f, bw_f = _cpu_factors(cpu_threads)
+    flop_f, bw_f = cpu_share_factors(cpu_threads)
     cpu_model = DeviceModel(module.cpu, flop_factor=flop_f, bw_factor=bw_f)
     gpu_model = DeviceModel(module.gpu)
     threads = 36 if cpu_threads is None else cpu_threads

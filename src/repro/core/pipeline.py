@@ -26,7 +26,7 @@ from repro.fem.newmark import NewmarkState
 from repro.hardware.power import PowerModel
 from repro.hardware.roofline import DeviceModel
 from repro.hardware.transfer import TransferModel
-from repro.sparse.cg import CGResult, pcg
+from repro.sparse.cg import CGResult, PCGWorkspace, pcg
 from repro.util.counters import KernelTally, tally_scope
 from repro.util.timeline import Timeline
 
@@ -48,6 +48,7 @@ class CaseSet:
     op_kind: str = "ebe"
     eps: float = 1e-8
     states: list[NewmarkState] = field(default_factory=list)
+    _pcg_ws: PCGWorkspace = field(default_factory=PCGWorkspace, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.forces) != len(self.predictors):
@@ -102,6 +103,7 @@ class CaseSet:
                 x0=guesses,
                 precond=pb.preconditioner(),
                 eps=self.eps,
+                workspace=self._pcg_ws,
             )
         X = res.x if res.x.ndim == 2 else res.x[:, None]
         for k in range(self.r):

@@ -1,23 +1,35 @@
-"""JSON persistence for run results.
+"""JSON persistence for run results and campaign artifacts.
 
 Saves everything needed to regenerate a paper-table row — method,
 module, memory, power, per-step records — without the bulky state
 vectors.  Loading returns plain dictionaries (the consumer is table
 generation and cross-run comparison, not resumption).
+
+Campaign cells use the same discipline: one JSON document per cell,
+keyed by the cell's content hash, written atomically (tmp + rename) so
+a killed worker never leaves a half-written artifact that a later
+cache probe would trust.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import numpy as np
 
 from repro.core.results import RunResult
 
-__all__ = ["save_result", "load_result_summary"]
+__all__ = [
+    "save_result",
+    "load_result_summary",
+    "save_campaign_cell",
+    "load_campaign_cell",
+]
 
 _SCHEMA_VERSION = 1
+_CAMPAIGN_SCHEMA_VERSION = 1
 
 
 def save_result(
@@ -61,10 +73,44 @@ def load_result_summary(path: str | pathlib.Path) -> dict:
     return doc
 
 
+def save_campaign_cell(
+    doc: dict, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Atomically write one campaign-cell artifact.
+
+    ``doc`` must carry ``key``, ``kind`` and ``params`` (the cache
+    identity) plus the executor's ``result``; the schema version is
+    stamped here.
+    """
+    for required in ("key", "kind", "params", "result"):
+        if required not in doc:
+            raise ValueError(f"campaign cell doc missing {required!r}")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    out = {**_jsonable(doc), "schema": _CAMPAIGN_SCHEMA_VERSION}
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(out, indent=1))
+    os.replace(tmp, path)
+    return path
+
+
+def load_campaign_cell(path: str | pathlib.Path) -> dict:
+    """Read one campaign-cell artifact; raises on schema mismatch."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != _CAMPAIGN_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported campaign cell schema {doc.get('schema')!r} "
+            f"(expected {_CAMPAIGN_SCHEMA_VERSION})"
+        )
+    return doc
+
+
 def _jsonable(obj):
     if isinstance(obj, dict):
         return {k: _jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (np.floating, np.integer)):
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
         return obj.item()
     if isinstance(obj, np.ndarray):
         return obj.tolist()

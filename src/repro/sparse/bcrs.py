@@ -15,6 +15,13 @@ import scipy.sparse as sp
 from repro.sparse.traffic import crs_traffic
 from repro.util import counters
 
+try:  # scipy's C kernel that accumulates A @ X into a caller buffer
+    from scipy.sparse import _sparsetools as _spt
+
+    _csr_matvecs = getattr(_spt, "csr_matvecs", None)
+except ImportError:  # pragma: no cover - scipy always ships it today
+    _csr_matvecs = None
+
 __all__ = ["BlockCRS"]
 
 
@@ -33,6 +40,7 @@ class BlockCRS:
         bsr = bsr.tobsr(blocksize=(3, 3))
         bsr.sort_indices()
         self._m = bsr
+        self._csr = None  # lazy scalar CSR twin for the out= fast path
         self.tag = tag
 
     # -- structure ---------------------------------------------------
@@ -74,17 +82,38 @@ class BlockCRS:
         return out
 
     # -- application -------------------------------------------------
-    def matvec(self, x: np.ndarray) -> np.ndarray:
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Apply to one vector ``(n,)`` or a batch ``(n, r)``.
 
         Each case re-streams the matrix (the CRS kernel has no
-        multi-RHS fusion, matching the paper's baseline).
+        multi-RHS fusion, matching the paper's baseline).  A block
+        ``out`` buffer is filled in place through scipy's multi-vector
+        kernel, so repeated applications allocate nothing.
         """
         x = np.asarray(x)
         n_rhs = 1 if x.ndim == 1 else x.shape[1]
         w = crs_traffic(self.nnz_blocks, self.n_block_rows)
         counters.charge(self.tag, w.flops * n_rhs, w.bytes * n_rhs)
-        return self._m @ x
+        if out is None:
+            return self._m @ x
+        if out.shape != (self.n, n_rhs) or x.ndim != 2:
+            raise ValueError(f"out must match block shape {(self.n, n_rhs)}")
+        if (
+            _csr_matvecs is None
+            or not x.flags.c_contiguous
+            or not out.flags.c_contiguous
+            or x.dtype != np.float64
+        ):
+            np.copyto(out, self._m @ x)
+            return out
+        if self._csr is None:
+            self._csr = self._m.tocsr()
+            self._csr.sort_indices()
+        c = self._csr
+        out.fill(0.0)  # csr_matvecs accumulates: y += A @ x
+        _csr_matvecs(self.n, self.n, n_rhs, c.indptr, c.indices, c.data,
+                     x.ravel(), out.ravel())
+        return out
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)

@@ -11,18 +11,25 @@ Each case carries its own CG scalars; the loop runs until every case
 meets ``||r||_2 / ||f||_2 < eps`` and per-case first-crossing
 iterations are recorded (these are the paper's "solver iterations per
 time step").
+
+The loop body is allocation-free: all ``(n, r)`` working blocks live
+in a :class:`PCGWorkspace` (reusable across solves — the campaign
+runner and the pipeline hold one per case set), operators that accept
+``out=`` write into them directly, and the per-iteration vector
+updates run in place.  Only the returned solution and the per-call
+result arrays are freshly allocated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.sparse.traffic import vector_traffic
 from repro.util import counters
 
-__all__ = ["CGResult", "pcg"]
+__all__ = ["CGResult", "PCGWorkspace", "pcg"]
 
 
 @dataclass
@@ -42,6 +49,31 @@ class CGResult:
         return float(np.mean(self.iterations))
 
 
+class PCGWorkspace:
+    """Preallocated ``(n, r)`` blocks for :func:`pcg`.
+
+    One instance serves any sequence of solves; buffers are
+    (re)allocated only when the problem shape changes.  Holding one
+    across time steps keeps the steady-state solver loop free of
+    heap traffic.
+    """
+
+    __slots__ = ("n", "r", "R", "Z", "P", "Q", "T",
+                 "rho", "rho_prev", "alpha", "beta", "relres", "work")
+
+    def __init__(self) -> None:
+        self.n = self.r = -1
+
+    def ensure(self, n: int, r: int) -> None:
+        if (self.n, self.r) == (n, r):
+            return
+        self.n, self.r = n, r
+        for name in ("R", "Z", "P", "Q", "T"):
+            setattr(self, name, np.empty((n, r)))
+        for name in ("rho", "rho_prev", "alpha", "beta", "relres", "work"):
+            setattr(self, name, np.empty(r))
+
+
 def _as_block(v: np.ndarray | None, n: int, r: int) -> np.ndarray:
     if v is None:
         return np.zeros((n, r))
@@ -50,7 +82,47 @@ def _as_block(v: np.ndarray | None, n: int, r: int) -> np.ndarray:
         v = v[:, None]
     if v.shape != (n, r):
         raise ValueError(f"expected shape {(n, r)}, got {v.shape}")
-    return v.copy()
+    return v.copy()  # C-order copy regardless of input layout
+
+
+def _make_apply(op, method_name: str):
+    """Wrap an operator into ``apply(V, out) -> out``.
+
+    Prefers the operator's own ``out=`` support; falls back to
+    ``np.copyto`` for operators (or plain matrices) without it.  The
+    probe is safe: an unexpected-keyword ``TypeError`` is raised before
+    the operator body runs, so no work is double-charged.
+    """
+    bound = getattr(op, method_name, None)
+    if bound is None:  # plain ndarray / anything supporting @
+        def apply(V: np.ndarray, out: np.ndarray) -> np.ndarray:
+            try:
+                np.matmul(op, V, out=out)
+            except TypeError:
+                np.copyto(out, op @ V)
+            return out
+
+        return apply
+
+    state = {"out_ok": True}
+
+    def apply(V: np.ndarray, out: np.ndarray) -> np.ndarray:
+        if state["out_ok"]:
+            try:
+                bound(V, out=out)
+                return out
+            except TypeError:
+                state["out_ok"] = False
+        np.copyto(out, bound(V))
+        return out
+
+    return apply
+
+
+def _block_norm(V: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Column 2-norms of ``V`` into the ``(r,)`` buffer ``out``."""
+    np.einsum("ij,ij->j", V, V, out=out)
+    return np.sqrt(out, out=out)
 
 
 def pcg(
@@ -61,12 +133,14 @@ def pcg(
     eps: float = 1e-8,
     max_iter: int = 10_000,
     record_history: bool = False,
+    workspace: PCGWorkspace | None = None,
 ) -> CGResult:
     """Solve ``A x = b`` (column-wise for block ``b``) by preconditioned CG.
 
     Parameters
     ----------
-    A : operator with ``matvec`` accepting ``(n, r)`` blocks.
+    A : operator with ``matvec`` accepting ``(n, r)`` blocks
+        (``matvec(V, out=...)`` is used when supported).
     b : ``(n,)`` or ``(n, r)`` right-hand side(s).
     x0 : optional initial guess(es), same shape as ``b``.
     precond : optional preconditioner with ``apply`` (block-capable);
@@ -74,6 +148,8 @@ def pcg(
     eps : relative tolerance on ``||r||/||b||`` (paper uses 1e-8).
     record_history : keep the per-iteration relative residuals
         (used by the Fig. 3 reproduction).
+    workspace : reusable :class:`PCGWorkspace`; pass the same instance
+        across solves of one case set to keep the loop allocation-free.
     """
     b = np.asarray(b, dtype=float)
     single = b.ndim == 1
@@ -81,13 +157,19 @@ def pcg(
     n, r = B.shape
     X = _as_block(x0, n, r)
 
-    def apply_A(V: np.ndarray) -> np.ndarray:
-        return A.matvec(V) if hasattr(A, "matvec") else A @ V
+    ws = workspace if workspace is not None else PCGWorkspace()
+    ws.ensure(n, r)
+    R, Z, P, Q, T = ws.R, ws.Z, ws.P, ws.Q, ws.T
+    rho, rho_prev, alpha, beta = ws.rho, ws.rho_prev, ws.alpha, ws.beta
+    relres, work = ws.relres, ws.work
 
-    def apply_M(V: np.ndarray) -> np.ndarray:
-        if precond is None:
-            return V.copy()
-        return precond.apply(V) if hasattr(precond, "apply") else precond @ V
+    apply_A = _make_apply(A, "matvec")
+    if precond is None:
+        apply_M = lambda V, out: np.copyto(out, V) or out  # noqa: E731
+    elif hasattr(precond, "apply"):
+        apply_M = _make_apply(precond, "apply")
+    else:
+        apply_M = _make_apply(precond, "__nonexistent__")  # matrix path
 
     norm_b = np.linalg.norm(B, axis=0)
     # Zero RHS: solution 0, converged immediately (relative test is
@@ -96,8 +178,10 @@ def pcg(
     zero_rhs = norm_b == 0.0
     denom = np.where(zero_rhs, 1.0, norm_b)
 
-    R = B - apply_A(X)
-    relres = np.linalg.norm(R, axis=0) / denom
+    apply_A(X, out=R)
+    np.subtract(B, R, out=R)
+    _block_norm(R, relres)
+    relres /= denom
     initial_relres = relres.copy()
     history = [relres.copy()] if record_history else None
 
@@ -105,31 +189,40 @@ def pcg(
     done = (relres < eps) | zero_rhs
     iterations[done] = 0
 
-    P = np.zeros_like(X)
-    rho_prev = np.ones(r)
+    P.fill(0.0)
+    rho_prev.fill(1.0)
     loop_it = 0
 
     while not np.all(done) and loop_it < max_iter:
         loop_it += 1
-        Z = apply_M(R)
-        rho = np.einsum("ij,ij->j", Z, R)
+        apply_M(R, out=Z)
+        np.einsum("ij,ij->j", Z, R, out=rho)
         # beta = rho/rho_prev, but converged/zero columns would produce
         # 0/0 -> NaN and poison the block update; freeze them at 0.
-        safe_rho_prev = np.where(rho_prev == 0.0, 1.0, rho_prev)
-        beta = np.where((loop_it > 1) & ~done, rho / safe_rho_prev, 0.0)
-        P = Z + beta[None, :] * P
-        Q = apply_A(P)
-        pq = np.einsum("ij,ij->j", P, Q)
+        np.copyto(work, rho_prev)
+        work[work == 0.0] = 1.0
+        np.divide(rho, work, out=beta)
+        beta[done] = 0.0
+        if loop_it == 1:
+            beta.fill(0.0)
+        P *= beta
+        P += Z
+        apply_A(P, out=Q)
+        np.einsum("ij,ij->j", P, Q, out=work)
         # Converged (or zero) columns: freeze by zeroing the step.
-        safe_pq = np.where(pq == 0.0, 1.0, pq)
-        alpha = np.where(done, 0.0, rho / safe_pq)
-        X += alpha[None, :] * P
-        R -= alpha[None, :] * Q
-        rho_prev = rho
+        work[work == 0.0] = 1.0
+        np.divide(rho, work, out=alpha)
+        alpha[done] = 0.0
+        np.multiply(P, alpha, out=T)
+        X += T
+        np.multiply(Q, alpha, out=T)
+        R -= T
+        np.copyto(rho_prev, rho)
         w = vector_traffic(n, n_reads=10, n_writes=3, flops_per_entry=12.0)
         counters.charge("cg.vec", w.flops * r, w.bytes * r)
 
-        relres = np.linalg.norm(R, axis=0) / denom
+        _block_norm(R, relres)
+        relres /= denom
         if record_history:
             history.append(relres.copy())
         newly = (~done) & (relres < eps)
@@ -137,6 +230,7 @@ def pcg(
         done |= newly
 
     iterations[~done] = loop_it  # non-converged cases report the cap
+    final_relres = relres.copy()
     out_x = X[:, 0] if single else X
     return CGResult(
         x=out_x,
@@ -144,6 +238,6 @@ def pcg(
         loop_iterations=loop_it,
         converged=done if not single else done[:1],
         initial_relres=initial_relres if not single else initial_relres[:1],
-        final_relres=relres if not single else relres[:1],
+        final_relres=final_relres if not single else final_relres[:1],
         residual_history=np.asarray(history) if record_history else None,
     )

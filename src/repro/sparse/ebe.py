@@ -9,7 +9,10 @@ Applies ``sum_e P_e^T (A_e (P_e x))`` without a global matrix:
 
 The fused multi-RHS path applies all ``r`` case vectors inside one
 gather/scatter sweep — the paper's Eq. 9, which reduces the random
-access per case to ``1/r``.
+access per case to ``1/r``.  The sweep runs entirely inside
+preallocated per-``r`` workspaces (gather, apply, sorted-scatter
+buffers), so steady-state applications — e.g. every ``pcg``
+iteration of a campaign cell — allocate nothing.
 
 The NumPy execution stores ``A_e`` in host memory; the *modeled* device
 kernel (what the tally is charged with) recomputes element matrices on
@@ -26,6 +29,19 @@ from repro.sparse.traffic import ebe_traffic
 from repro.util import counters
 
 __all__ = ["EBEOperator"]
+
+
+class _SweepWorkspace:
+    """Reusable buffers for one fused sweep width ``r``."""
+
+    __slots__ = ("xe", "ye", "sorted_contrib", "reduced", "y")
+
+    def __init__(self, ne: int, n: int, n_targets: int, r: int) -> None:
+        self.xe = np.empty((ne, 30, r))
+        self.ye = np.empty((ne, 30, r))
+        self.sorted_contrib = np.empty((ne * 30, r))
+        self.reduced = np.empty((n_targets, r))
+        self.y = np.empty((n, r))
 
 
 class EBEOperator:
@@ -62,6 +78,32 @@ class EBEOperator:
         self._dof_flat = self._dof.ravel()
         if self._dof.max() >= 3 * n_nodes:
             raise ValueError("connectivity references nodes beyond n_nodes")
+        if self._dof.min() < 0:
+            # the clip-mode gather/scatter below relies on validated
+            # indices; negatives would silently wrap instead of raising
+            raise ValueError("connectivity references negative node ids")
+        # Deterministic scatter plan: stable sort groups the flat
+        # contributions by target dof, segment sums preserve the
+        # original element order within each dof (matching the old
+        # per-column bincount to the bit).
+        order = np.argsort(self._dof_flat, kind="stable")
+        sorted_dofs = self._dof_flat[order]
+        seg_starts = np.flatnonzero(
+            np.r_[True, sorted_dofs[1:] != sorted_dofs[:-1]]
+        )
+        self._scatter_order = order
+        self._scatter_starts = seg_starts
+        self._scatter_targets = sorted_dofs[seg_starts]
+        self._ws: dict[int, _SweepWorkspace] = {}
+
+    def _workspace(self, r: int) -> _SweepWorkspace:
+        ws = self._ws.get(r)
+        if ws is None:
+            ws = _SweepWorkspace(
+                self.n_elems, self.n, self._scatter_targets.size, r
+            )
+            self._ws[r] = ws
+        return ws
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -83,8 +125,13 @@ class EBEOperator:
         saving that allows 2 x 4 concurrent cases)."""
         return int(self.elems.nbytes // 2 + 24 * self.n_nodes + 16 * self.n_elems)
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Apply to ``(n,)`` or fused ``(n, r)`` vectors."""
+    def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Apply to ``(n,)`` or fused ``(n, r)`` vectors.
+
+        ``out`` (block shape ``(n, r)``, C-contiguous) receives the
+        result without allocating; otherwise a workspace-owned buffer
+        is returned (valid until the next same-``r`` application).
+        """
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1
         X = x[:, None] if single else x
@@ -92,16 +139,28 @@ class EBEOperator:
         if n != self.n:
             raise ValueError(f"operand size {n} != {self.n}")
 
-        xe = X[self._dof]  # (ne, 30, r) gather
-        ye = np.einsum("eij,ejr->eir", self.Ae, xe, optimize=True)
-        Y = np.empty_like(X)
-        flat = self._dof_flat
-        for k in range(r):
-            Y[:, k] = np.bincount(flat, weights=ye[:, :, k].ravel(), minlength=n)
+        ws = self._workspace(r)
+        # mode="clip" writes straight into `out` (mode="raise" rechecks
+        # the indices through a temporary); both index arrays are
+        # validated in-range at construction.
+        np.take(X, self._dof, axis=0, out=ws.xe, mode="clip")  # gather
+        np.matmul(self.Ae, ws.xe, out=ws.ye)
+        flat_contrib = ws.ye.reshape(-1, r)
+        np.take(flat_contrib, self._scatter_order, axis=0,
+                out=ws.sorted_contrib, mode="clip")
+        np.add.reduceat(ws.sorted_contrib, self._scatter_starts, axis=0,
+                        out=ws.reduced)
+        Y = ws.y if out is None else out
+        if Y.shape != (n, r):
+            raise ValueError(f"out must have shape {(n, r)}, got {Y.shape}")
+        Y.fill(0.0)
+        Y[self._scatter_targets] = ws.reduced
 
         w = ebe_traffic(self.n_elems, self.n_nodes, n_rhs=r)
         counters.charge(f"{self.tag}{r}", w.flops * r, w.bytes * r)
-        return Y[:, 0] if single else Y
+        if single:
+            return Y[:, 0].copy() if out is None else Y[:, 0]
+        return Y.copy() if out is None else Y
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)

@@ -37,18 +37,34 @@ class BlockJacobi:
     def n(self) -> int:
         return 3 * self._inv.shape[0]
 
-    def apply(self, r: np.ndarray) -> np.ndarray:
-        """``z = B^{-1} r`` for ``(n,)`` or ``(n, nrhs)`` inputs."""
+    def apply(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``z = B^{-1} r`` for ``(n,)`` or ``(n, nrhs)`` inputs.
+
+        With a C-contiguous block ``out`` the batched 3x3 mat-vec
+        writes straight into it — no allocation on the solver hot path.
+        """
         r = np.asarray(r)
         single = r.ndim == 1
         R = r[:, None] if single else r
         nb = self._inv.shape[0]
         n_rhs = R.shape[1]
-        Rb = R.reshape(nb, 3, n_rhs)
-        Zb = np.einsum("bij,bjr->bir", self._inv, Rb, optimize=True)
         w = vector_traffic(self.n, n_reads=2, n_writes=1, flops_per_entry=6.0)
         counters.charge(self.tag, w.flops * n_rhs, w.bytes * n_rhs)
-        Z = Zb.reshape(3 * nb, n_rhs)
+        if (
+            out is not None
+            and not single
+            and out.shape == R.shape
+            and out.flags.c_contiguous
+            and R.flags.c_contiguous
+        ):
+            np.matmul(self._inv, R.reshape(nb, 3, n_rhs),
+                      out=out.reshape(nb, 3, n_rhs))
+            return out
+        Rb = np.ascontiguousarray(R).reshape(nb, 3, n_rhs)
+        Z = np.matmul(self._inv, Rb).reshape(3 * nb, n_rhs)
+        if out is not None:
+            np.copyto(out, Z[:, 0] if single and out.ndim == 1 else Z)
+            return out
         return Z[:, 0] if single else Z
 
     def __matmul__(self, r: np.ndarray) -> np.ndarray:

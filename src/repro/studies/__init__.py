@@ -8,17 +8,29 @@
 * :mod:`~repro.studies.ablation` — predictor design ablations: what
   each ingredient (Adams-Bashforth base, MGS correction, force input,
   subdomain split, history length) buys in solver iterations.
+
+Both sweeps are also expressible as *campaigns* (see
+:mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
+emit the same work as content-hashed cells that the shared
+``CampaignRunner`` caches and parallelizes.
 """
 
-from repro.studies.sensitivity import (
+from repro.studies.sensitivity import (  # isort: skip
     SensitivityPoint,
     StepProfile,
     characterize_pipeline,
     modeled_step_time,
+    run_sensitivity_campaign,
     scaled_module,
+    sensitivity_cells,
     sweep_parameter,
 )
-from repro.studies.ablation import PredictorAblation, run_predictor_ablation
+from repro.studies.ablation import (
+    PredictorAblation,
+    ablation_cells,
+    run_ablation_campaign,
+    run_predictor_ablation,
+)
 
 __all__ = [
     "StepProfile",
@@ -27,6 +39,10 @@ __all__ = [
     "modeled_step_time",
     "scaled_module",
     "sweep_parameter",
+    "sensitivity_cells",
+    "run_sensitivity_campaign",
     "PredictorAblation",
     "run_predictor_ablation",
+    "ablation_cells",
+    "run_ablation_campaign",
 ]

@@ -8,6 +8,13 @@ real workload:
 * ``dd-global`` — MGS correction with a single global region;
 * ``dd-noforce`` — subdomains but without the Eq. 3 force input;
 * ``dd-full`` — subdomains + force input (the shipped configuration).
+
+The sweep is expressed as a *campaign*: each variant is one
+:class:`~repro.campaign.spec.CampaignCell` (kind ``"ablation"``)
+executed through the shared :class:`~repro.campaign.runner.\
+CampaignRunner`, so ablations get content-hash caching and process-
+pool parallelism for free.  :func:`run_predictor_ablation` remains the
+in-process API over an already-built problem.
 """
 
 from __future__ import annotations
@@ -16,11 +23,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.runner import register_executor
+from repro.campaign.spec import CampaignCell, derive_seed
 from repro.core.pipeline import CaseSet
 from repro.predictor.adams_bashforth import AdamsBashforth
 from repro.predictor.datadriven import DataDrivenPredictor
 
-__all__ = ["PredictorAblation", "run_predictor_ablation", "ABLATION_VARIANTS"]
+__all__ = [
+    "PredictorAblation",
+    "run_predictor_ablation",
+    "ABLATION_VARIANTS",
+    "ablation_cells",
+    "run_ablation_campaign",
+]
 
 ABLATION_VARIANTS = ("ab-only", "dd-global", "dd-noforce", "dd-full")
 
@@ -65,6 +80,33 @@ class PredictorAblation:
         return float(np.median(self.initial_relres[w]))
 
 
+def _run_variant(
+    problem,
+    force,
+    variant: str,
+    nt: int,
+    s: int,
+    n_regions: int,
+    eps: float,
+) -> PredictorAblation:
+    """One ablation arm on one case: the shared loop body behind both
+    the in-process API and the campaign executor."""
+    pred = _make_predictor(variant, problem.n_dofs, problem.dt, s, n_regions)
+    cs = CaseSet(problem, forces=[force], predictors=[pred],
+                 op_kind="ebe", eps=eps)
+    iters, rel0 = [], []
+    for it in range(1, nt + 1):
+        g, _ = cs.predict(it)
+        res, _ = cs.solve(it, g)
+        iters.append(int(res.iterations[0]))
+        rel0.append(float(res.initial_relres[0]))
+    return PredictorAblation(
+        variant=variant,
+        iterations=np.asarray(iters),
+        initial_relres=np.asarray(rel0),
+    )
+
+
 def run_predictor_ablation(
     problem,
     force,
@@ -76,20 +118,82 @@ def run_predictor_ablation(
 ) -> dict[str, PredictorAblation]:
     """Run one case per variant on identical physics and record
     per-step iteration counts and initial residuals."""
-    out: dict[str, PredictorAblation] = {}
-    for variant in variants:
-        pred = _make_predictor(variant, problem.n_dofs, problem.dt, s, n_regions)
-        cs = CaseSet(problem, forces=[force], predictors=[pred],
-                     op_kind="ebe", eps=eps)
-        iters, rel0 = [], []
-        for it in range(1, nt + 1):
-            g, _ = cs.predict(it)
-            res, _ = cs.solve(it, g)
-            iters.append(int(res.iterations[0]))
-            rel0.append(float(res.initial_relres[0]))
-        out[variant] = PredictorAblation(
-            variant=variant,
-            iterations=np.asarray(iters),
-            initial_relres=np.asarray(rel0),
+    return {
+        variant: _run_variant(problem, force, variant, nt, s, n_regions, eps)
+        for variant in variants
+    }
+
+
+# -- campaign expression ----------------------------------------------
+def ablation_cells(
+    model: str = "stratified",
+    resolution: tuple[int, int, int] = (3, 3, 2),
+    nt: int = 32,
+    s: int = 8,
+    n_regions: int = 8,
+    seed: int = 0,
+    amplitude: float = 1e6,
+    variants: tuple[str, ...] = ABLATION_VARIANTS,
+    eps: float = 1e-8,
+) -> list[CampaignCell]:
+    """The ablation sweep as campaign cells (one per variant)."""
+    return [
+        CampaignCell(
+            kind="ablation",
+            params={
+                "model": model,
+                "resolution": list(resolution),
+                "variant": variant,
+                "nt": nt,
+                "s": s,
+                "n_regions": n_regions,
+                "amplitude": amplitude,
+                "eps": eps,
+                # seed is variant-independent: every arm must see the
+                # identical force realization for a controlled comparison
+                "seed": derive_seed(seed, model, "ablation"),
+            },
+            label=f"ablation/{model}/{variant}",
         )
-    return out
+        for variant in variants
+    ]
+
+
+@register_executor("ablation")
+def _run_ablation_cell(params: dict) -> dict:
+    """Campaign executor: rebuild the workload from parameters, run one
+    variant, return the window aggregates plus the raw traces."""
+    from repro.analysis.waves import BandlimitedImpulse
+    from repro.workloads.ground import GROUND_MODELS, build_ground_problem
+
+    problem = build_ground_problem(
+        GROUND_MODELS[params["model"]](), resolution=tuple(params["resolution"])
+    )
+    force = BandlimitedImpulse.random(
+        problem.mesh, problem.dt, rng=params["seed"],
+        amplitude=params["amplitude"],
+    )
+    nt = params["nt"]
+    arm = _run_variant(
+        problem, force, params["variant"], nt,
+        params["s"], params["n_regions"], params["eps"],
+    )
+    window = slice(nt // 2, nt)
+    return {
+        "variant": arm.variant,
+        "mean_iterations": arm.mean_iterations(window),
+        "median_initial_relres": arm.median_initial_relres(window),
+        "iterations": arm.iterations.tolist(),
+        "initial_relres": arm.initial_relres.tolist(),
+    }
+
+
+def run_ablation_campaign(runner, **kwargs) -> dict[str, dict]:
+    """Run the ablation sweep through a
+    :class:`~repro.campaign.runner.CampaignRunner` (caching, optional
+    process pool); returns ``{variant: executor result}``."""
+    outcomes = runner.run_cells(ablation_cells(**kwargs))
+    bad = [o for o in outcomes if not o.ok]
+    if bad:
+        raise RuntimeError(f"ablation cells failed: {[o.error for o in bad]}")
+    return {o.result["variant"]: o.result for o in outcomes}

@@ -1,0 +1,112 @@
+"""Campaign spec: grid expansion, seeds, serialization, validation."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    WaveSpec,
+    cell_key,
+    default_waves,
+    derive_seed,
+)
+
+
+def make_spec(**over):
+    kw = dict(
+        name="t",
+        models=("stratified", "basin"),
+        waves=default_waves(2),
+        methods=("crs-cg@gpu",),
+        resolutions=((2, 2, 1),),
+        cases=2,
+        steps=4,
+    )
+    kw.update(over)
+    return CampaignSpec(**kw)
+
+
+def test_grid_expansion_counts():
+    spec = make_spec(models=("stratified", "basin", "slanted"),
+                     methods=("crs-cg@gpu", "ebe-mcg@cpu-gpu"))
+    cells = spec.cells()
+    assert spec.n_cells == 3 * 2 * 2 * 1 == len(cells)
+    assert len({c.key for c in cells}) == len(cells)  # all distinct
+
+
+def test_cells_deterministic():
+    a = make_spec().cells()
+    b = make_spec().cells()
+    assert [c.key for c in a] == [c.key for c in b]
+    assert [c.params["seed"] for c in a] == [c.params["seed"] for c in b]
+
+
+def test_seed_content_derived_stable_under_grid_growth():
+    """Growing the grid must not reseed (or re-key) existing cells."""
+    small = {c.label: c for c in make_spec().cells()}
+    grown = {c.label: c for c in make_spec(
+        models=("stratified", "basin", "slanted"),
+        methods=("crs-cg@gpu", "ebe-mcg@cpu-gpu"),
+    ).cells()}
+    for label, cell in small.items():
+        assert grown[label].key == cell.key
+        assert grown[label].params["seed"] == cell.params["seed"]
+
+
+def test_seed_changes_with_campaign_seed():
+    s0 = make_spec(seed=0).cells()[0].params["seed"]
+    s1 = make_spec(seed=1).cells()[0].params["seed"]
+    assert s0 != s1
+
+
+def test_key_reflects_content():
+    c = make_spec().cells()[0]
+    changed = dict(c.params, steps=c.params["steps"] + 1)
+    assert cell_key(c.kind, changed) != c.key
+    assert cell_key(c.kind, dict(c.params)) == c.key
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+    assert derive_seed(1, "a", "b") != derive_seed(1, "a", "c")
+
+
+def test_json_roundtrip(tmp_path):
+    spec = make_spec(methods=("crs-cg@gpu", "ebe-mcg@cpu-gpu"))
+    path = spec.to_json(tmp_path / "spec.json")
+    back = CampaignSpec.from_json(path)
+    assert back == spec
+    assert [c.key for c in back.cells()] == [c.key for c in spec.cells()]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        make_spec(models=("mars",))
+    with pytest.raises(ValueError):
+        make_spec(methods=("magic",))
+    with pytest.raises(ValueError):
+        make_spec(models=())
+    with pytest.raises(ValueError):
+        make_spec(resolutions=((2, 2),))
+    with pytest.raises(ValueError):
+        make_spec(steps=0)
+    # heterogeneous methods demand even ensembles
+    with pytest.raises(ValueError):
+        make_spec(methods=("ebe-mcg@cpu-gpu",), cases=3)
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict({"name": "x", "models": ["stratified"],
+                                "waves": [], "methods": [], "bogus": 1})
+
+
+def test_wavespec_roundtrip():
+    w = WaveSpec(name="w9", amplitude=2e6, f0_factor=0.4)
+    assert WaveSpec.from_dict(w.to_dict()) == w
+    assert len(default_waves(3)) == 3
+    assert len({w.name for w in default_waves(3)}) == 3
+
+
+def test_cell_label_and_kind():
+    c = make_spec().cells()[0]
+    assert isinstance(c, CampaignCell)
+    assert c.kind == "method"
+    assert "stratified" in c.label

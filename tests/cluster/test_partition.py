@@ -18,6 +18,31 @@ def test_all_parts_populated_and_balanced(small_mesh, nparts):
     assert sizes.max() / sizes.mean() < 1.5
 
 
+@pytest.mark.parametrize("nparts", [2, 3, 4, 5, 6, 7, 8, 9, 12])
+def test_load_balance_bounds(small_mesh, nparts):
+    """RCB with proportional split points: every part is within one
+    element of the ideal share, so max/mean is bounded by
+    ``1 + nparts / n_elems``."""
+    part = partition_elements(small_mesh, nparts)
+    sizes = np.bincount(part, minlength=nparts)
+    ideal = small_mesh.n_elems / nparts
+    assert sizes.max() - sizes.min() <= 1
+    assert abs(sizes.max() - ideal) < 1.0
+    info = PartitionInfo(small_mesh, part)
+    assert 1.0 <= info.balance() <= 1.0 + nparts / small_mesh.n_elems
+
+
+def test_balance_exact_when_divisible(small_mesh):
+    """Part counts dividing the element count balance perfectly."""
+    ne = small_mesh.n_elems
+    for nparts in (2, 3, 4, 6):
+        assert ne % nparts == 0
+        part = partition_elements(small_mesh, nparts)
+        sizes = np.bincount(part, minlength=nparts)
+        assert sizes.max() == sizes.min() == ne // nparts
+        assert PartitionInfo(small_mesh, part).balance() == 1.0
+
+
 def test_deterministic(small_mesh):
     p1 = partition_elements(small_mesh, 4)
     p2 = partition_elements(small_mesh, 4)

@@ -4,8 +4,62 @@ import numpy as np
 import pytest
 
 from repro.analysis.waves import BandlimitedImpulse
-from repro.core.methods import METHODS, estimate_memory, run_method
+from repro.core.methods import (
+    METHODS,
+    _cpu_factors,
+    cpu_share_factors,
+    estimate_memory,
+    run_method,
+)
 from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+
+
+# ------------------------------------------------- CPU share derating
+def test_cpu_factors_reference_point():
+    """t=36 is the paper's calibration point: both factors exactly 1."""
+    assert cpu_share_factors(36) == (1.0, 1.0)
+    assert cpu_share_factors(None) == (1.0, 1.0)
+
+
+def test_cpu_factors_lower_boundary():
+    """t=1: linear flop loss, sqrt bandwidth loss — no cap involved."""
+    flop, bw = cpu_share_factors(1)
+    assert flop == pytest.approx(1.0 / 36.0)
+    assert bw == pytest.approx(1.0 / 6.0)
+
+
+def test_cpu_factors_upper_boundary_caps_engage():
+    """t=72 doubles the core share but the derating caps bite: flops
+    saturate at 1.5 (not 2.0) and bandwidth at 1.2 (not sqrt(2))."""
+    flop, bw = cpu_share_factors(72)
+    assert flop == 1.5  # capped, NOT 72/36 = 2.0
+    assert bw == 1.2  # capped, NOT sqrt(2) ~ 1.414
+    # the caps first engage strictly above the reference point
+    flop54, bw54 = cpu_share_factors(54)
+    assert flop54 == 1.5  # 54/36 = 1.5: exactly at the flop cap
+    assert bw54 == 1.2  # sqrt(1.5) ~ 1.22 already exceeds the bw cap
+    flop51, bw51 = cpu_share_factors(51)
+    assert flop51 == pytest.approx(51.0 / 36.0)  # below the flop cap
+    assert bw51 == pytest.approx(np.sqrt(51.0 / 36.0))  # below the bw cap
+
+
+def test_cpu_factors_monotone_and_bounded():
+    pts = [cpu_share_factors(t) for t in range(1, 73)]
+    flops, bws = zip(*pts)
+    assert all(a <= b for a, b in zip(flops, flops[1:]))
+    assert all(a <= b for a, b in zip(bws, bws[1:]))
+    assert max(flops) == 1.5 and max(bws) == 1.2
+
+
+def test_cpu_factors_out_of_range_raises():
+    for t in (0, -1, 73, 1000):
+        with pytest.raises(ValueError):
+            cpu_share_factors(t)
+
+
+def test_cpu_factors_private_alias():
+    """The historical private name stays importable."""
+    assert _cpu_factors is cpu_share_factors
 
 
 @pytest.fixture(scope="module")

@@ -1,11 +1,14 @@
-"""Preconditioned CG (Algorithm 1): correctness and multi-RHS fusion."""
+"""Preconditioned CG (Algorithm 1): correctness, multi-RHS fusion,
+and the allocation discipline of the fused hot loop."""
+
+import tracemalloc
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sparse.cg import pcg
+from repro.sparse.cg import PCGWorkspace, pcg
 from repro.sparse.precond import BlockJacobi
 
 
@@ -127,6 +130,87 @@ def test_shape_mismatch_raises():
     A = spd(6)
     with pytest.raises(ValueError):
         pcg(DenseOp(A), np.ones(6), x0=np.ones(5))
+
+
+# -------------------------------------------------- allocation counting
+def _steady_state_peak(problem, B, ws, max_iter):
+    """Peak traced allocation of one warm pcg solve capped at
+    ``max_iter`` iterations (eps far below reachable -> loop runs the
+    full cap)."""
+    A = problem.ebe_operator()
+    M = problem.preconditioner()
+    tracemalloc.start()
+    pcg(A, B, precond=M, eps=1e-30, max_iter=max_iter, workspace=ws)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def test_fused_pcg_allocates_no_per_iteration_temporaries(small_problem, rng):
+    """The acceptance property of the batched hot path: with a warm
+    workspace and out=-capable operators, peak memory of a 60-iteration
+    solve equals that of a 5-iteration solve — i.e. the loop body
+    allocates nothing that scales with (n, r) per iteration."""
+    n, r = small_problem.n_dofs, 4
+    B = rng.standard_normal((n, r))
+    B[small_problem.fixed_dofs, :] = 0.0
+    ws = PCGWorkspace()
+    # warm-up: materialize workspace + operator sweep buffers
+    pcg(small_problem.ebe_operator(), B,
+        precond=small_problem.preconditioner(), eps=1e-30, max_iter=3,
+        workspace=ws)
+    peak_short = _steady_state_peak(small_problem, B, ws, max_iter=5)
+    peak_long = _steady_state_peak(small_problem, B, ws, max_iter=60)
+    # 55 extra iterations must not add even one (n,) vector of heap
+    per_vector = 8 * n
+    assert peak_long <= peak_short + per_vector, (
+        f"per-iteration allocation detected: {peak_short} -> {peak_long} bytes"
+    )
+
+
+def test_ebe_matvec_out_reuses_buffers(small_problem, rng):
+    """EBE multi-RHS application into a caller buffer allocates no new
+    arrays once the per-r workspace exists."""
+    op = small_problem.ebe_operator()
+    X = rng.standard_normal((op.n, 3))
+    out = np.empty_like(X)
+    expect = op.matvec(X)  # warm-up allocates the r=3 workspace
+    tracemalloc.start()
+    op.matvec(X, out=out)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    np.testing.assert_array_equal(out, expect)
+    assert peak < 8 * op.n  # no (n, r)-scale allocation
+
+    # and the workspace result path still matches the out= path
+    np.testing.assert_array_equal(op.matvec(X), expect)
+
+
+def test_crs_matvec_out_matches(small_problem, rng):
+    op = small_problem.crs_operator()
+    X = np.ascontiguousarray(rng.standard_normal((op.n, 3)))
+    out = np.empty_like(X)
+    got = op.matvec(X, out=out)
+    assert got is out
+    np.testing.assert_allclose(out, op.matvec(X), rtol=1e-13, atol=1e-13)
+
+
+def test_precond_out_matches(small_problem, rng):
+    M = small_problem.preconditioner()
+    R = np.ascontiguousarray(rng.standard_normal((small_problem.n_dofs, 2)))
+    out = np.empty_like(R)
+    got = M.apply(R, out=out)
+    assert got is out
+    np.testing.assert_array_equal(out, M.apply(R))
+
+
+def test_workspace_grows_and_shrinks_with_shape():
+    ws = PCGWorkspace()
+    A = spd(10, seed=20)
+    pcg(DenseOp(A), np.ones((10, 3)), workspace=ws)
+    assert ws.R.shape == (10, 3)
+    pcg(DenseOp(A), np.ones(10), workspace=ws)
+    assert ws.R.shape == (10, 1)
 
 
 @settings(max_examples=25, deadline=None)

@@ -68,3 +68,81 @@ def test_bad_inputs():
         main(["run", "--resolution", "2,2", "--steps", "1"])
     with pytest.raises(SystemExit):
         main(["run", "--resolution", "2,2,1", "--method", "magic"])
+
+
+# ------------------------------------------------------------ campaign
+def _campaign_args(store, extra=()):
+    return [
+        "campaign",
+        "--models", "stratified,basin,slanted",
+        "--waves", "2",
+        "--methods", "crs-cg@gpu,ebe-mcg@cpu-gpu",
+        "--resolutions", "2,2,1",
+        "--cases", "2", "--steps", "3",
+        "--store", str(store),
+        *extra,
+    ]
+
+
+def test_campaign_grid_with_jobs(capsys, tmp_path):
+    """A 12-cell grid (3 models x 2 waves x 2 methods) with --jobs 2
+    computes every cell and prints the aggregated tables."""
+    store = tmp_path / "store"
+    assert main(_campaign_args(store, ["--jobs", "2"])) == 0
+    out = capsys.readouterr().out
+    assert "12 cells" in out
+    assert "12 computed, 0 cache hits" in out
+    assert "per-method summary" in out
+    assert "per-scenario summary" in out
+    for name in ("stratified", "basin", "slanted", "ebe-mcg@cpu-gpu"):
+        assert name in out
+    assert len(list((store / "cells").glob("*.json"))) == 12
+
+
+def test_campaign_second_run_all_cache_hits(capsys, tmp_path):
+    """Re-running an identical campaign recomputes nothing."""
+    store = tmp_path / "store"
+    assert main(_campaign_args(store)) == 0
+    capsys.readouterr()
+    before = {p: p.stat().st_mtime_ns for p in (store / "cells").glob("*.json")}
+    assert main(_campaign_args(store)) == 0
+    out = capsys.readouterr().out
+    assert "0 computed, 12 cache hits" in out
+    after = {p: p.stat().st_mtime_ns for p in (store / "cells").glob("*.json")}
+    assert after == before  # artifacts untouched: no recomputation
+
+
+def test_campaign_spec_file(capsys, tmp_path):
+    """--spec parses a JSON campaign spec and overrides the grid flags."""
+    from repro.campaign import CampaignSpec, default_waves
+
+    spec = CampaignSpec(
+        name="from-file",
+        models=("stratified",),
+        waves=default_waves(1),
+        methods=("crs-cg@gpu",),
+        resolutions=((2, 2, 1),),
+        cases=1,
+        steps=2,
+    )
+    path = spec.to_json(tmp_path / "spec.json")
+    rc = main(["campaign", "--spec", str(path),
+               "--store", str(tmp_path / "store")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign 'from-file'" in out
+    assert "1 cells" in out
+
+
+def test_campaign_bad_grid_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--models", "mars", "--store", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["campaign", "--methods", "magic", "--store", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["campaign", "--spec", str(tmp_path / "missing.json"),
+              "--store", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["campaign", "--jobs", "0", "--store", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["campaign", "--waves", "0", "--store", str(tmp_path)])

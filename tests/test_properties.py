@@ -14,7 +14,80 @@ from repro.fem.newmark import NewmarkBeta, NewmarkState
 from repro.hardware.roofline import kernel_time
 from repro.hardware.specs import SINGLE_GH200
 from repro.predictor.adams_bashforth import AdamsBashforth
+from repro.sparse.cg import PCGWorkspace, pcg
 from repro.util.timeline import Timeline
+
+
+def _random_spd(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Well-conditioned random SPD matrix."""
+    m = rng.standard_normal((n, n))
+    return m @ m.T + n * np.eye(n)
+
+
+# ------------------------------------------------------------- solver
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=24),
+    r=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_pcg_converges_on_random_spd(n, r, seed):
+    """Any (well-conditioned) random SPD system must converge with the
+    reported final relative residual below tolerance — and the report
+    must be honest (match a recomputed ||b - A x|| / ||b||)."""
+    rng = np.random.default_rng(seed)
+    A = _random_spd(rng, n)
+    B = rng.standard_normal((n, r))
+    eps = 1e-10
+    res = pcg(A, B, eps=eps)
+    assert bool(np.all(res.converged))
+    assert np.all(res.final_relres < eps)
+    true_rel = np.linalg.norm(B - A @ res.x.reshape(n, r), axis=0) / np.linalg.norm(
+        B, axis=0
+    )
+    np.testing.assert_allclose(true_rel, res.final_relres, rtol=1e-6, atol=1e-14)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=24),
+    r=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_fused_multirhs_matches_sequential(n, r, seed):
+    """Fused multi-RHS pcg must agree with per-case sequential solves
+    to rounding: every case's scalar recurrence is independent, so the
+    fused loop changes nothing but flop grouping."""
+    rng = np.random.default_rng(seed)
+    A = _random_spd(rng, n)
+    B = rng.standard_normal((n, r))
+    X0 = rng.standard_normal((n, r)) * 0.1
+    fused = pcg(A, B, x0=X0, eps=1e-10, workspace=PCGWorkspace())
+    for k in range(r):
+        single = pcg(A, B[:, k], x0=X0[:, k], eps=1e-10)
+        np.testing.assert_allclose(
+            fused.x[:, k], single.x, rtol=1e-9, atol=1e-12 * np.abs(single.x).max()
+        )
+        assert fused.iterations[k] == single.iterations[0]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_pcg_workspace_reuse_is_transparent(n, seed):
+    """Solving through a reused workspace gives the same answer as a
+    fresh solve (the buffers carry no state between calls)."""
+    rng = np.random.default_rng(seed)
+    A = _random_spd(rng, n)
+    ws = PCGWorkspace()
+    b1 = rng.standard_normal(n)
+    b2 = rng.standard_normal((n, 2))
+    x1a = pcg(A, b1, eps=1e-10, workspace=ws).x
+    _ = pcg(A, b2, eps=1e-10, workspace=ws)  # reshapes the buffers
+    x1b = pcg(A, b1, eps=1e-10, workspace=ws).x
+    np.testing.assert_array_equal(x1a, x1b)
 
 
 # ---------------------------------------------------------------- fem
