@@ -1,21 +1,30 @@
 """End-to-end campaign example: 3 ground models x 2 input waves x
-2 methods, executed through the cached, parallel campaign engine.
+2 methods, executed through the cached, parallel campaign engine —
+plus a distributed weak-scaling sweep over the part-local solver.
 
 Run from the repository root::
 
     PYTHONPATH=src python examples/campaign_sweep.py
 
-The first execution computes all 12 cells (over 2 worker processes);
-running the script again is pure cache hits — every cell is keyed by a
-content hash of its parameters in ``campaign-results/example/``.
+The first execution computes all 12 grid cells (over 2 worker
+processes) and the 3 scaling cells; running the script again is pure
+cache hits — every cell is keyed by a content hash of its parameters
+in ``campaign-results/example/``.
 
-Equivalent CLI::
+Equivalent CLI (the grid)::
 
     python -m repro campaign \
         --models stratified,basin,slanted --waves 2 \
         --methods crs-cg@gpu,ebe-mcg@cpu-gpu \
         --resolutions 3,3,2 --cases 2 --steps 8 --jobs 2 \
         --store campaign-results/example
+
+and (the distributed nparts axis as an ordinary campaign grid)::
+
+    python -m repro campaign \
+        --models stratified --waves 1 --methods ebe-mcg@cpu-gpu \
+        --resolutions 3,3,2 --nparts 1,2,4 --module alps \
+        --store campaign-results/example-nparts
 """
 
 from repro.campaign import (
@@ -23,6 +32,11 @@ from repro.campaign import (
     CampaignSpec,
     ResultStore,
     default_waves,
+)
+from repro.studies.weakscaling import (
+    run_scaling_campaign,
+    scaling_cells,
+    scaling_table,
 )
 
 
@@ -50,6 +64,24 @@ def main() -> None:
     )
     print(f"\nfastest method over all scenarios: {fastest[0]} "
           f"({fastest[1]['elapsed_per_step_per_case_s']:.3e} s/step/case)")
+
+    # -- distributed mode: a weak-scaling sweep over nparts -----------
+    # Each part count is one cached campaign cell; the solver runs
+    # part-locally (halo exchange every CG iteration) and the timeline
+    # charges the bottleneck part's compute plus nic-lane comm.
+    cells = scaling_cells(
+        parts=(1, 2, 4), mode="weak", base_resolution=(2, 2, 1),
+        steps=6, module="alps",
+    )
+    outcomes = run_scaling_campaign(
+        cells, store=ResultStore("campaign-results/example-scaling")
+    )
+    print("\nweak scaling over the distributed part-local solver:")
+    for pt in scaling_table(outcomes):
+        print(f"  nparts={pt.nparts:<3d} dofs={pt.n_dofs:<7d} "
+              f"t/step {pt.elapsed_per_step:.3e} s  "
+              f"halo {pt.halo_per_step:.3e} s  "
+              f"efficiency {pt.efficiency:5.3f}")
 
 
 if __name__ == "__main__":

@@ -15,8 +15,23 @@ package turns that into a first-class subsystem:
 * :mod:`~repro.campaign.aggregate` — :class:`CampaignReport`
   per-method / per-scenario summary tables.
 
+Distributed mode
+----------------
+``CampaignSpec(nparts=(1, 2, 4), methods=("ebe-mcg@cpu-gpu",))`` adds
+the part-count axis: every scenario additionally runs through the
+distributed part-local solver (:func:`repro.sparse.distributed.\
+distributed_pcg` — halo exchange each CG iteration, bottleneck-part
+compute, ``nic``-lane comm time) at each part count.  Single-part
+cells keep their pre-axis content hash, so growing a cached campaign
+with an ``nparts`` axis recomputes only the new part counts; the
+scenario seed is nparts-independent, so scaling sweeps compare
+identical physics.  Weak/strong-scaling helpers live in
+:mod:`repro.studies.weakscaling`.
+
 CLI: ``python -m repro campaign --models stratified,basin,slanted
---waves 2 --methods crs-cg@gpu,ebe-mcg@cpu-gpu --jobs 2``.
+--waves 2 --methods crs-cg@gpu,ebe-mcg@cpu-gpu --jobs 2``
+(add ``--nparts 1,2,4`` with ``--methods ebe-mcg@cpu-gpu`` for the
+distributed axis).
 """
 
 from repro.campaign.aggregate import CampaignReport, format_table

@@ -85,13 +85,16 @@ def run_method_cell(params: dict) -> dict:
 
     Per-case forces come from RNG streams spawned off the cell's
     content-derived seed, so results are independent of worker
-    placement and grid composition.
+    placement and grid composition.  An optional ``"nparts"`` entry
+    (> 1) runs the cell through the distributed part-local solver —
+    the scenario seed is unchanged, so scaling sweeps compare identical
+    physics across part counts.
     """
     import numpy as np
 
     from repro.analysis.waves import BandlimitedImpulse
     from repro.core.methods import run_method
-    from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+    from repro.hardware.specs import module_by_name
     from repro.util.rng import spawn_rngs
     from repro.workloads.ground import GROUND_MODELS, build_ground_problem
 
@@ -119,9 +122,10 @@ def run_method_cell(params: dict) -> dict:
         forces,
         nt=steps,
         method=params["method"],
-        module=SINGLE_GH200 if params["module"] == "single-gh200" else ALPS_MODULE,
+        module=module_by_name(params["module"]),
         eps=params["eps"],
         s_range=(params["s_min"], params["s_max"]),
+        nparts=params.get("nparts", 1),
     )
     window = (max(1, steps * 5 // 8), steps + 1)
     return {
@@ -129,6 +133,10 @@ def run_method_cell(params: dict) -> dict:
         "window": list(window),
         "n_dofs": problem.n_dofs,
         "iterations_per_step": result.iterations_per_step(window),
+        # same window and per-case normalization as the other columns
+        "halo_time_per_step_per_case": result.halo_time_per_step_per_case(
+            window
+        ),
     }
 
 

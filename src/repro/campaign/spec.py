@@ -27,10 +27,22 @@ __all__ = [
     "CampaignSpec",
     "cell_key",
     "default_waves",
+    "method_cell_params",
 ]
 
-#: Methods that pair two process sets and therefore need even ensembles.
-_HETEROGENEOUS = ("crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu")
+def _heterogeneous() -> tuple[str, ...]:
+    """Methods pairing two process sets, hence needing even ensembles
+    (lazy: core imports are deferred like the other validators here)."""
+    from repro.core.methods import HETEROGENEOUS_METHODS
+
+    return HETEROGENEOUS_METHODS
+
+
+def _partitionable() -> tuple[str, ...]:
+    """Methods supporting nparts > 1 (lazy, see :func:`_heterogeneous`)."""
+    from repro.core.methods import PARTITIONABLE_METHODS
+
+    return PARTITIONABLE_METHODS
 
 
 def _canonical(params: dict) -> str:
@@ -91,6 +103,54 @@ def default_waves(n: int) -> tuple[WaveSpec, ...]:
     )
 
 
+def method_cell_params(
+    model: str,
+    wave: WaveSpec,
+    method: str,
+    resolution,
+    *,
+    cases: int,
+    steps: int,
+    module: str,
+    eps: float,
+    s_min: int,
+    s_max: int,
+    seed: int,
+    nparts: int = 1,
+) -> tuple[dict, str]:
+    """Canonical ``(params, label)`` of one ``"method"`` campaign cell.
+
+    The single owner of the method-cell schema: grid expansion
+    (:meth:`CampaignSpec.cells`) and the scaling studies
+    (:mod:`repro.studies.weakscaling`) both build their cells here, so
+    equivalent work always produces the same content hash.  ``nparts``
+    enters the params (and hence the hash) only when > 1 — the
+    content-addition discipline that keeps pre-axis cells cached —
+    and the scenario ``seed`` is nparts-independent, so scaling sweeps
+    compare identical physics.
+    """
+    res = tuple(int(x) for x in resolution)
+    res_tag = "x".join(map(str, res))
+    params = {
+        "model": model,
+        "wave": wave.to_dict(),
+        "method": method,
+        "resolution": list(res),
+        "cases": cases,
+        "steps": steps,
+        "module": module,
+        "eps": eps,
+        "s_min": s_min,
+        "s_max": s_max,
+        "seed": derive_seed(seed, model, wave.name, method, res_tag),
+    }
+    label = f"{model}/{wave.name}/{method}/{res_tag}"
+    if nparts > 1:
+        params["nparts"] = int(nparts)
+        label += f"/p{int(nparts)}"
+    return params, label
+
+
 @dataclass(frozen=True)
 class CampaignCell:
     """One executable unit of a campaign.
@@ -131,9 +191,17 @@ class CampaignSpec:
     eps: float = 1e-8
     s_min: int = 2
     s_max: int = 8
+    #: Distributed-solve axis: partitionable methods (``ebe-mcg@cpu-gpu``)
+    #: additionally run at every part count here; other methods ignore
+    #: the axis and run once, so a grid can compare the distributed
+    #: solve against the baselines in one campaign.  ``nparts == 1``
+    #: cells keep their pre-axis content hash, so adding part counts to
+    #: an existing campaign never invalidates cached single-part cells.
+    nparts: tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         from repro.core.methods import METHODS
+        from repro.hardware.specs import module_by_name
         from repro.workloads.ground import GROUND_MODELS
 
         object.__setattr__(self, "models", tuple(self.models))
@@ -162,24 +230,43 @@ class CampaignSpec:
         for res in self.resolutions:
             if len(res) != 3 or any(x < 1 for x in res):
                 raise ValueError(f"bad resolution {res!r}")
+        module_by_name(self.module)  # typos fail at spec time, loudly
         if self.steps < 1:
             raise ValueError("steps must be >= 1")
         if self.cases < 1:
             raise ValueError("cases must be >= 1")
-        if any(m in _HETEROGENEOUS for m in self.methods) and (
+        if any(m in _heterogeneous() for m in self.methods) and (
             self.cases < 2 or self.cases % 2
         ):
             raise ValueError(
                 "heterogeneous methods need an even case count >= 2"
             )
+        object.__setattr__(
+            self, "nparts", tuple(int(p) for p in self.nparts)
+        )
+        if not self.nparts:
+            raise ValueError("campaign grid has an empty axis")
+        if any(p < 1 for p in self.nparts):
+            raise ValueError("nparts entries must be >= 1")
+        if any(p > 1 for p in self.nparts) and not any(
+            m in _partitionable() for m in self.methods
+        ):
+            raise ValueError(
+                "nparts > 1 needs at least one partitionable method "
+                f"({', '.join(_partitionable())})"
+            )
+
+    def _part_axis(self, method: str) -> tuple[int, ...]:
+        """The part counts one method expands over (baselines run once)."""
+        return self.nparts if method in _partitionable() else (1,)
 
     @property
     def n_cells(self) -> int:
         return (
             len(self.models)
             * len(self.waves)
-            * len(self.methods)
             * len(self.resolutions)
+            * sum(len(self._part_axis(m)) for m in self.methods)
         )
 
     def cells(self) -> list[CampaignCell]:
@@ -188,29 +275,16 @@ class CampaignSpec:
         for model, wave, method, res in itertools.product(
             self.models, self.waves, self.methods, self.resolutions
         ):
-            params = {
-                "model": model,
-                "wave": wave.to_dict(),
-                "method": method,
-                "resolution": list(res),
-                "cases": self.cases,
-                "steps": self.steps,
-                "module": self.module,
-                "eps": self.eps,
-                "s_min": self.s_min,
-                "s_max": self.s_max,
-                "seed": derive_seed(
-                    self.seed, model, wave.name, method, "x".join(map(str, res))
-                ),
-            }
-            out.append(
-                CampaignCell(
-                    kind="method",
-                    params=params,
-                    label=f"{model}/{wave.name}/{method}/"
-                    + "x".join(map(str, res)),
+            for np_ in self._part_axis(method):
+                params, label = method_cell_params(
+                    model, wave, method, res,
+                    cases=self.cases, steps=self.steps, module=self.module,
+                    eps=self.eps, s_min=self.s_min, s_max=self.s_max,
+                    seed=self.seed, nparts=np_,
                 )
-            )
+                out.append(
+                    CampaignCell(kind="method", params=params, label=label)
+                )
         return out
 
     # -- (de)serialization --------------------------------------------

@@ -28,6 +28,9 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.hardware.specs import MODULES
+
+    modules = sorted(MODULES)
     p = argparse.ArgumentParser(
         prog="repro",
         description="Heterogeneous CPU-GPU time-evolution solver (SC'24 reproduction)",
@@ -46,11 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cases", type=int, default=8, help="ensemble size")
     run.add_argument("--steps", type=int, default=64, help="time steps")
     run.add_argument("--module", default="single-gh200",
-                     choices=["single-gh200", "alps"], help="hardware model")
+                     choices=modules, help="hardware model")
     run.add_argument("--threads", type=int, default=None,
                      help="predictor CPU threads per process")
     run.add_argument("--s-min", type=int, default=8)
     run.add_argument("--s-max", type=int, default=32)
+    run.add_argument("--nparts", type=int, default=1,
+                     help="mesh partitions for the distributed solve "
+                          "(ebe-mcg@cpu-gpu only)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", default=None, help="save result JSON here")
     run.add_argument("--vtk", default=None, help="save final displacement VTK here")
@@ -62,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     sens.add_argument("--factors", default="0.5,1,2,4",
                       help="comma-separated scale factors")
     sens.add_argument("--module", default="single-gh200",
-                      choices=["single-gh200", "alps"])
+                      choices=modules)
 
     camp = sub.add_parser("campaign", help="run a many-scenario campaign")
     camp.add_argument("--spec", default=None,
@@ -78,8 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="semicolon-separated resolutions, e.g. '2,2,1;3,3,2'")
     camp.add_argument("--cases", type=int, default=2, help="ensemble size per cell")
     camp.add_argument("--steps", type=int, default=8, help="time steps per cell")
+    camp.add_argument("--nparts", default="1",
+                      help="comma-separated part counts for the distributed "
+                           "solve axis, e.g. '1,2,4' (ebe-mcg@cpu-gpu only)")
     camp.add_argument("--module", default="single-gh200",
-                      choices=["single-gh200", "alps"])
+                      choices=modules)
     camp.add_argument("--seed", type=int, default=0)
     camp.add_argument("--jobs", type=int, default=1,
                       help="worker processes (1 = inline)")
@@ -98,9 +107,9 @@ def _add_problem_args(p: argparse.ArgumentParser) -> None:
 
 
 def _module(name: str):
-    from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+    from repro.hardware.specs import module_by_name
 
-    return SINGLE_GH200 if name == "single-gh200" else ALPS_MODULE
+    return module_by_name(name)
 
 
 def _problem(args):
@@ -153,18 +162,26 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.core.methods import METHODS, run_method
+    from repro.core.methods import METHODS, PARTITIONABLE_METHODS, run_method
 
     if args.method not in METHODS:
         raise SystemExit(f"unknown method {args.method!r}; choose from {METHODS}")
+    if args.nparts < 1:
+        raise SystemExit("--nparts must be >= 1")
+    if args.nparts > 1 and args.method not in PARTITIONABLE_METHODS:
+        raise SystemExit(
+            f"--nparts > 1 requires --method in {PARTITIONABLE_METHODS}"
+        )
     problem = _problem(args)
     forces = _forces(problem, args.cases, args.seed)
     result = run_method(
         problem, forces, nt=args.steps, method=args.method,
         module=_module(args.module), s_range=(args.s_min, args.s_max),
-        cpu_threads=args.threads,
+        cpu_threads=args.threads, nparts=args.nparts,
     )
-    window = (args.steps * 5 // 8, args.steps)
+    # same steady-state window convention as the campaign executor
+    # (non-empty even for --steps 1)
+    window = (max(1, args.steps * 5 // 8), args.steps + 1)
     print(f"\n{args.method} on {args.module} "
           f"({problem.n_dofs} dofs, {args.cases} cases, {args.steps} steps)")
     for k, v in result.summary(window).items():
@@ -228,6 +245,7 @@ def _campaign_spec(args):
             steps=args.steps,
             module=args.module,
             seed=args.seed,
+            nparts=tuple(int(p) for p in args.nparts.split(",")),
         )
     except ValueError as exc:
         raise SystemExit(f"bad campaign grid: {exc}") from exc
@@ -241,9 +259,12 @@ def _cmd_campaign(args) -> int:
     spec = _campaign_spec(args)
     store = None if args.no_store else ResultStore(args.store)
     report = CampaignRunner(store=store, jobs=args.jobs).run(spec)
-    print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells "
-          f"({len(spec.models)} models x {len(spec.waves)} waves x "
-          f"{len(spec.methods)} methods x {len(spec.resolutions)} resolutions), "
+    axes = (f"{len(spec.models)} models x {len(spec.waves)} waves x "
+            f"{len(spec.methods)} methods x {len(spec.resolutions)} resolutions")
+    if len(spec.nparts) > 1:
+        axes += (", nparts " + ",".join(map(str, spec.nparts))
+                 + " on partitionable methods")
+    print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells ({axes}), "
           f"jobs={args.jobs}\n")
     print(report.render())
     if store is not None:

@@ -25,7 +25,6 @@ __all__ = [
     "build_halo_plan",
     "DistributedEBE",
     "CommCostModel",
-    "CommCostModel",
     "WeakScalingPoint",
     "weak_scaling_curve",
 ]

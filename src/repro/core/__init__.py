@@ -14,6 +14,7 @@
 from repro.core.problem import ElasticProblem, build_problem
 from repro.core.results import RunResult, StepRecord
 from repro.core.methods import METHODS, run_method
+from repro.core.partitioned import PartitionedCaseSet
 
 __all__ = [
     "ElasticProblem",
@@ -22,4 +23,5 @@ __all__ = [
     "StepRecord",
     "METHODS",
     "run_method",
+    "PartitionedCaseSet",
 ]

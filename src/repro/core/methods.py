@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.partitioned import PartitionedCaseSet
 from repro.core.pipeline import CaseSet, HeterogeneousPipeline
 from repro.core.problem import ElasticProblem
 from repro.core.results import RunResult, StepRecord
@@ -32,9 +33,19 @@ from repro.predictor.adaptive import AdaptiveSController
 from repro.predictor.datadriven import DataDrivenPredictor
 from repro.util.timeline import Timeline
 
-__all__ = ["METHODS", "run_method", "estimate_memory", "cpu_share_factors"]
+__all__ = ["METHODS", "HETEROGENEOUS_METHODS", "PARTITIONABLE_METHODS",
+           "run_method", "estimate_memory", "cpu_share_factors"]
 
 METHODS = ("crs-cg@cpu", "crs-cg@gpu", "crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu")
+
+#: Methods that pair two process sets (and therefore need even
+#: ensembles) — the single source of truth for the spec-time validator.
+HETEROGENEOUS_METHODS = ("crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu")
+
+#: Methods that can run the distributed part-local solve (nparts > 1) —
+#: the single source of truth shared by run_method, the CLI and the
+#: campaign spec.
+PARTITIONABLE_METHODS = ("ebe-mcg@cpu-gpu",)
 
 #: Solver working vectors per case (x, r, z, p, q, b, u, v, a, f).
 _VECTORS_PER_CASE = 10
@@ -184,6 +195,14 @@ def _run_baseline(
     )
 
 
+def _part_link(module: ModuleSpec) -> TransferModel:
+    """Inter-part link: the NIC when the module has one (multi-node),
+    otherwise NVLink-C2C (single-node multi-GPU)."""
+    if module.interconnect_bandwidth > 0:
+        return TransferModel.nic(module)
+    return TransferModel.c2c(module)
+
+
 def _run_heterogeneous(
     problem: ElasticProblem,
     forces: Sequence[Callable[[int], np.ndarray]],
@@ -195,28 +214,60 @@ def _run_heterogeneous(
     n_regions: int,
     cpu_threads: int | None,
     waveform_dofs: np.ndarray | None,
+    nparts: int,
 ) -> RunResult:
-    """Algorithms 3 (ebe) / 4 (crs): two sets, CPU/GPU overlapped."""
+    """Algorithms 3 (ebe) / 4 (crs): two sets, CPU/GPU overlapped.
+
+    ``nparts > 1`` runs the EBE sets on the distributed part-local
+    solver (halo exchange per CG iteration, comm on the ``nic`` lane).
+    """
     n_cases = len(forces)
     if n_cases < 2 or n_cases % 2:
         raise ValueError("heterogeneous methods need an even case count (2 sets)")
     r = n_cases // 2
     s_min, s_max = s_range
 
+    dist = preconds = None
+    if nparts > 1:
+        # both sets solve the same model: partition once, share the
+        # operator and the per-part block inverses
+        from repro.cluster.halo import DistributedEBE
+        from repro.cluster.partition import PartitionInfo, partition_elements
+        from repro.sparse.distributed import part_block_jacobi
+
+        info = PartitionInfo(
+            problem.mesh, partition_elements(problem.mesh, nparts)
+        )
+        dist = DistributedEBE.from_elements(problem.Ae, info)
+        preconds = part_block_jacobi(dist)
+
     def make_set(fs: Sequence[Callable[[int], np.ndarray]]) -> CaseSet:
+        predictors = [
+            DataDrivenPredictor(
+                problem.n_dofs,
+                problem.dt,
+                s_max=s_max,
+                n_regions=n_regions,
+                s=s_min,
+            )
+            for _ in fs
+        ]
+        if nparts > 1:
+            return PartitionedCaseSet(
+                problem,
+                forces=list(fs),
+                predictors=predictors,
+                op_kind=op_kind,
+                eps=eps,
+                nparts=nparts,
+                link=_part_link(module),
+                dist=dist,
+                preconds=preconds,
+            )
         return CaseSet(
             problem,
             forces=list(fs),
-            predictors=[
-                DataDrivenPredictor(
-                    problem.n_dofs,
-                    problem.dt,
-                    s_max=s_max,
-                    n_regions=n_regions,
-                    s=s_min,
-                )
-                for _ in fs
-            ],
+            predictors=predictors,
             op_kind=op_kind,
             eps=eps,
         )
@@ -269,6 +320,7 @@ def run_method(
     n_regions: int = 16,
     cpu_threads: int | None = None,
     waveform_dofs: np.ndarray | None = None,
+    nparts: int = 1,
 ) -> RunResult:
     """Run one of the paper's four methods for ``nt`` time steps.
 
@@ -286,11 +338,23 @@ def run_method(
         36/24/16).
     waveform_dofs : optional dof indices whose displacement history is
         recorded each step (feeds the FDD analysis of Fig. 1).
+    nparts : mesh partitions for the distributed solve path
+        (``ebe-mcg@cpu-gpu`` only).  Each part runs the EBE sweep on
+        its own device with halo exchange every CG iteration; compute
+        scales with the bottleneck part, communication is charged on
+        the ``nic`` timeline lane.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
     if nt < 1:
         raise ValueError("nt must be >= 1")
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    if nparts > 1 and method not in PARTITIONABLE_METHODS:
+        raise ValueError(
+            "the distributed solve path (nparts > 1) requires one of "
+            f"{PARTITIONABLE_METHODS}"
+        )
     if method == "crs-cg@cpu":
         return _run_baseline(problem, forces, nt, module, "cpu", eps, waveform_dofs)
     if method == "crs-cg@gpu":
@@ -298,5 +362,5 @@ def run_method(
     op_kind = "ebe" if method.startswith("ebe") else "crs"
     return _run_heterogeneous(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
-        cpu_threads, waveform_dofs,
+        cpu_threads, waveform_dofs, nparts,
     )

@@ -33,6 +33,11 @@ from repro.util.timeline import Timeline
 __all__ = ["CaseSet", "HeterogeneousPipeline"]
 
 
+def _s_effective(cs: "CaseSet") -> int:
+    """The history length the set's predictors are using right now."""
+    return getattr(cs.predictors[0], "s_effective", 0)
+
+
 @dataclass
 class CaseSet:
     """``r`` problem cases advanced together by one fused solver.
@@ -69,6 +74,32 @@ class CaseSet:
             else self.problem.crs_operator()
         )
 
+    def _solve_system(self, B: np.ndarray, guesses: np.ndarray) -> CGResult:
+        """Fused (M)CG refinement; the partitioned subclass swaps in
+        the part-local solver here without touching the Newmark loop."""
+        return pcg(
+            self._operator(),
+            B,
+            x0=guesses,
+            precond=self.problem.preconditioner(),
+            eps=self.eps,
+            workspace=self._pcg_ws,
+        )
+
+    # -- timing hooks (overridden by PartitionedCaseSet) ---------------
+    def solver_time(self, device, tally: KernelTally) -> float:
+        """Modeled device seconds for one solve's work tally."""
+        return device.time_for_tally(tally)
+
+    def predictor_time(self, device, tally: KernelTally) -> float:
+        """Modeled device seconds for one predict's work tally."""
+        return device.time_for_tally(tally)
+
+    def comm_time(self, res: CGResult) -> float:
+        """Modeled inter-part communication seconds of one solve
+        (0 for the fused single-address-space set)."""
+        return 0.0
+
     def predict(self, it: int) -> tuple[np.ndarray, KernelTally]:
         """All cases' initial guesses for step ``it``, and the
         predictor work tally.  The upcoming force (known in advance —
@@ -97,14 +128,7 @@ class CaseSet:
             B += pb.damping_operator(self.op_kind) @ UC
             B[pb.fixed_dofs, :] = 0.0
 
-            res = pcg(
-                self._operator(),
-                B,
-                x0=guesses,
-                precond=pb.preconditioner(),
-                eps=self.eps,
-                workspace=self._pcg_ws,
-            )
+            res = self._solve_system(B, guesses)
         X = res.x if res.x.ndim == 2 else res.x[:, None]
         for k in range(self.r):
             self.states[k] = nm.advance(self.states[k], X[:, k])
@@ -142,6 +166,10 @@ class HeterogeneousPipeline:
     records: list[StepRecord] = field(default_factory=list)
     waveform_dofs: np.ndarray | None = None
     _waves: list[np.ndarray] = field(default_factory=list)
+    # set B's prediction for the next step, carried across run() calls
+    # so resumed runs continue instead of re-bootstrapping
+    _next_guesses_b: np.ndarray | None = field(default=None, repr=False)
+    _next_s_b: int = field(default=0, repr=False)
 
     def _gpu_concurrent(self) -> DeviceModel:
         f = self.power.gpu_throttle_factor(cpu_concurrent=True)
@@ -153,49 +181,73 @@ class HeterogeneousPipeline:
         return self.c2c.time(nbytes)
 
     def run(self, nt: int) -> None:
-        """Execute ``nt`` time steps (appends to records/timeline)."""
+        """Execute ``nt`` time steps (appends to records/timeline).
+
+        Calling ``run`` again continues the schedule seamlessly:
+        ``run(nt); run(nt)`` produces the same records and makespan as
+        ``run(2 * nt)``.
+        """
         tl = self.timeline
-        pb = self.set_a.problem
-        lanes = ["cpu", "gpu", "c2c"]
+        lanes = ["cpu", "gpu", "c2c", "nic"]
 
         start_step = self.records[-1].step + 1 if self.records else 1
 
-        # Bootstrap: set B's first prediction (Algorithm 3 needs x_bar
-        # for the first phase-A solve).
-        guesses_b, tp = self.set_b.predict(start_step)
-        tl.schedule("cpu", "predictor", self.cpu.time_for_tally(tp))
-        tl.barrier(lanes)
+        if self._next_guesses_b is None:
+            # Bootstrap (first run only): set B's first prediction
+            # (Algorithm 3 needs x_bar for the first phase-A solve).
+            # Resumed runs reuse the prediction made at the end of the
+            # previous run — re-predicting here would double-charge the
+            # predictor and call predict twice without an intervening
+            # observe.
+            guesses_b, tp = self.set_b.predict(start_step)
+            s_used_b = _s_effective(self.set_b)
+            tl.schedule(
+                "cpu", "predictor", self.set_b.predictor_time(self.cpu, tp)
+            )
+            tl.barrier(lanes)
+        else:
+            guesses_b = self._next_guesses_b
+            s_used_b = self._next_s_b
 
         for it in range(start_step, start_step + nt):
             t0 = tl.makespan
 
             # ---- phase A: predictor(A)@CPU || solver(B)@GPU ----
             guesses_a, tp_a = self.set_a.predict(it)
+            s_used_a = _s_effective(self.set_a)
             res_b, ts_b = self.set_b.solve(it, guesses_b)
-            t_cpu_a = self.cpu.time_for_tally(tp_a)
-            t_gpu_a = self._gpu_concurrent().time_for_tally(ts_b)
+            t_cpu_a = self.set_a.predictor_time(self.cpu, tp_a)
+            t_gpu_a = self.set_b.solver_time(self._gpu_concurrent(), ts_b)
+            t_nic_a = self.set_b.comm_time(res_b)
             tl.schedule("cpu", "predictor", t_cpu_a)
             tl.schedule("gpu", "solver", t_gpu_a)
-            sync = tl.barrier(["cpu", "gpu"])
+            if t_nic_a > 0.0:
+                # halo/allreduce traffic not hidden behind the sweep,
+                # serialized after the solver phase it belongs to
+                tl.schedule("nic", "halo", t_nic_a, not_before=tl.now("gpu"))
+            sync = tl.barrier(["cpu", "gpu", "nic"])
             t_x1 = self._exchange_time(self.set_a.r)
             tl.schedule("c2c", "exchange", t_x1, not_before=sync)
             tl.barrier(lanes)
 
             # ---- phase B: solver(A)@GPU || predictor(B)@CPU ----
             res_a, ts_a = self.set_a.solve(it, guesses_a)
-            guesses_b, tp_b = self.set_b.predict(it + 1)
-            t_gpu_b = self._gpu_concurrent().time_for_tally(ts_a)
-            t_cpu_b = self.cpu.time_for_tally(tp_b)
+            next_guesses_b, tp_b = self.set_b.predict(it + 1)
+            next_s_b = _s_effective(self.set_b)
+            t_gpu_b = self.set_a.solver_time(self._gpu_concurrent(), ts_a)
+            t_nic_b = self.set_a.comm_time(res_a)
+            t_cpu_b = self.set_b.predictor_time(self.cpu, tp_b)
             tl.schedule("gpu", "solver", t_gpu_b)
             tl.schedule("cpu", "predictor", t_cpu_b)
-            sync = tl.barrier(["cpu", "gpu"])
+            if t_nic_b > 0.0:
+                tl.schedule("nic", "halo", t_nic_b, not_before=tl.now("gpu"))
+            sync = tl.barrier(["cpu", "gpu", "nic"])
             t_x2 = self._exchange_time(self.set_b.r)
             tl.schedule("c2c", "exchange", t_x2, not_before=sync)
             tl.barrier(lanes)
 
             # ---- bookkeeping ----
             iters = np.concatenate([res_a.iterations, res_b.iterations])
-            s_used = getattr(self.set_a.predictors[0], "s_effective", 0)
             self.records.append(
                 StepRecord(
                     step=it,
@@ -204,7 +256,14 @@ class HeterogeneousPipeline:
                     t_predictor=t_cpu_a + t_cpu_b,
                     t_transfer=t_x1 + t_x2,
                     t_step=tl.makespan - t0,
-                    s_used=s_used,
+                    # s actually used by the predictions consumed this
+                    # step: set A predicted in phase A above; set B's
+                    # guess was produced at the end of the previous
+                    # step (or the bootstrap), before any controller
+                    # update in between.
+                    s_used=s_used_a,
+                    s_used_b=s_used_b,
+                    t_halo=t_nic_a + t_nic_b,
                 )
             )
             if self.waveform_dofs is not None:
@@ -219,6 +278,11 @@ class HeterogeneousPipeline:
                 for p in (*self.set_a.predictors, *self.set_b.predictors):
                     if hasattr(p, "set_s"):
                         p.set_s(s_new)
+
+            guesses_b, s_used_b = next_guesses_b, next_s_b
+
+        self._next_guesses_b = guesses_b
+        self._next_s_b = s_used_b
 
     def waveforms(self) -> np.ndarray | None:
         """(ncases, nt, nrec) recorded displacements, if requested."""

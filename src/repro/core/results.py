@@ -28,7 +28,9 @@ class StepRecord:
     t_predictor: float  # modeled predictor seconds this step
     t_transfer: float  # modeled C2C seconds this step
     t_step: float  # makespan advance of this step
-    s_used: int = 0  # predictor history length (0 = AB-only)
+    s_used: int = 0  # history length set A's prediction used (0 = AB-only)
+    s_used_b: int = 0  # history length set B's prediction used
+    t_halo: float = 0.0  # modeled inter-part halo/allreduce seconds
 
     @property
     def mean_iterations(self) -> float:
@@ -71,6 +73,12 @@ class RunResult:
     def predictor_time_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
         recs = self._window(window)
         return sum(r.t_predictor for r in recs) / (len(recs) * self.n_cases)
+
+    def halo_time_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
+        """Modeled inter-part halo/allreduce seconds (0 unless the run
+        used the distributed solve path)."""
+        recs = self._window(window)
+        return sum(r.t_halo for r in recs) / (len(recs) * self.n_cases)
 
     def iterations_per_step(self, window: tuple[int, int] | None = None) -> float:
         recs = self._window(window)

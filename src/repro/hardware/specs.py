@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DeviceSpec", "ModuleSpec", "NodeSpec", "SINGLE_GH200", "ALPS_MODULE", "ALPS_NODE"]
+__all__ = ["DeviceSpec", "ModuleSpec", "NodeSpec", "SINGLE_GH200",
+           "ALPS_MODULE", "ALPS_NODE", "MODULES", "module_by_name"]
 
 GB = 1e9
 TFLOP = 1e12
@@ -115,3 +116,17 @@ ALPS_MODULE = ModuleSpec(
 )
 
 ALPS_NODE = NodeSpec(name="Alps-node", module=ALPS_MODULE, n_modules=4)
+
+#: Campaign/CLI module keys -> hardware models.
+MODULES = {"single-gh200": SINGLE_GH200, "alps": ALPS_MODULE}
+
+
+def module_by_name(name: str) -> ModuleSpec:
+    """Look up a module by its campaign/CLI key; a typo must fail loudly
+    rather than silently model the wrong hardware."""
+    try:
+        return MODULES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown module {name!r}; choose from {sorted(MODULES)}"
+        ) from None

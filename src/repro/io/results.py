@@ -52,7 +52,9 @@ def save_result(
                 "t_predictor": r.t_predictor,
                 "t_transfer": r.t_transfer,
                 "t_step": r.t_step,
+                "t_halo": r.t_halo,
                 "s_used": int(r.s_used),
+                "s_used_b": int(r.s_used_b),
             }
             for r in result.records
         ],

@@ -16,6 +16,12 @@ flop/byte traffic models that feed the hardware roofline.
 from repro.sparse.bcrs import BlockCRS
 from repro.sparse.precond import BlockJacobi
 from repro.sparse.cg import CGResult, pcg
+from repro.sparse.distributed import (
+    DistributedPCGWorkspace,
+    PartitionedReduction,
+    distributed_pcg,
+    part_block_jacobi,
+)
 from repro.sparse.ebe import EBEOperator
 from repro.sparse.traffic import crs_traffic, ebe_traffic, vector_traffic
 
@@ -24,6 +30,10 @@ __all__ = [
     "BlockJacobi",
     "CGResult",
     "pcg",
+    "distributed_pcg",
+    "DistributedPCGWorkspace",
+    "PartitionedReduction",
+    "part_block_jacobi",
     "EBEOperator",
     "crs_traffic",
     "ebe_traffic",

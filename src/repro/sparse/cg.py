@@ -119,10 +119,19 @@ def _make_apply(op, method_name: str):
     return apply
 
 
-def _block_norm(V: np.ndarray, out: np.ndarray) -> np.ndarray:
-    """Column 2-norms of ``V`` into the ``(r,)`` buffer ``out``."""
-    np.einsum("ij,ij->j", V, V, out=out)
-    return np.sqrt(out, out=out)
+class _FusedReduction:
+    """Default reduction: one contiguous einsum over all rows (the
+    single-address-space behaviour :func:`pcg` always had)."""
+
+    @staticmethod
+    def dot(V: np.ndarray, W: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->j", V, W, out=out)
+
+    @staticmethod
+    def norm(V: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Column 2-norms of ``V`` into the ``(r,)`` buffer ``out``."""
+        np.einsum("ij,ij->j", V, V, out=out)
+        return np.sqrt(out, out=out)
 
 
 def pcg(
@@ -134,6 +143,7 @@ def pcg(
     max_iter: int = 10_000,
     record_history: bool = False,
     workspace: PCGWorkspace | None = None,
+    reduction=None,
 ) -> CGResult:
     """Solve ``A x = b`` (column-wise for block ``b``) by preconditioned CG.
 
@@ -150,6 +160,13 @@ def pcg(
         (used by the Fig. 3 reproduction).
     workspace : reusable :class:`PCGWorkspace`; pass the same instance
         across solves of one case set to keep the loop allocation-free.
+    reduction : optional dot-product strategy with
+        ``dot(V, W, out)`` / ``norm(V, out)``; defaults to one fused
+        einsum over all rows.  The distributed solver passes
+        :class:`~repro.sparse.distributed.PartitionedReduction` here so
+        the fused reference reduces in the exact same (deterministic,
+        canonical part order) grouping as the part-local loop — the
+        basis of the bit-identity guarantee.
     """
     b = np.asarray(b, dtype=float)
     single = b.ndim == 1
@@ -171,7 +188,11 @@ def pcg(
     else:
         apply_M = _make_apply(precond, "__nonexistent__")  # matrix path
 
-    norm_b = np.linalg.norm(B, axis=0)
+    red = _FusedReduction() if reduction is None else reduction
+    if reduction is None:
+        norm_b = np.linalg.norm(B, axis=0)
+    else:
+        norm_b = red.norm(B, out=np.empty(r))
     # Zero RHS: solution 0, converged immediately (relative test is
     # ill-defined; the paper's problems always have nonzero f after the
     # first impulse, but robustness demands the guard).
@@ -180,7 +201,7 @@ def pcg(
 
     apply_A(X, out=R)
     np.subtract(B, R, out=R)
-    _block_norm(R, relres)
+    red.norm(R, out=relres)
     relres /= denom
     initial_relres = relres.copy()
     history = [relres.copy()] if record_history else None
@@ -196,7 +217,7 @@ def pcg(
     while not np.all(done) and loop_it < max_iter:
         loop_it += 1
         apply_M(R, out=Z)
-        np.einsum("ij,ij->j", Z, R, out=rho)
+        red.dot(Z, R, out=rho)
         # beta = rho/rho_prev, but converged/zero columns would produce
         # 0/0 -> NaN and poison the block update; freeze them at 0.
         np.copyto(work, rho_prev)
@@ -208,7 +229,7 @@ def pcg(
         P *= beta
         P += Z
         apply_A(P, out=Q)
-        np.einsum("ij,ij->j", P, Q, out=work)
+        red.dot(P, Q, out=work)
         # Converged (or zero) columns: freeze by zeroing the step.
         work[work == 0.0] = 1.0
         np.divide(rho, work, out=alpha)
@@ -221,7 +242,7 @@ def pcg(
         w = vector_traffic(n, n_reads=10, n_writes=3, flops_per_entry=12.0)
         counters.charge("cg.vec", w.flops * r, w.bytes * r)
 
-        _block_norm(R, relres)
+        red.norm(R, out=relres)
         relres /= denom
         if record_history:
             history.append(relres.copy())

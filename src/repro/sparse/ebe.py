@@ -129,8 +129,9 @@ class EBEOperator:
         """Apply to ``(n,)`` or fused ``(n, r)`` vectors.
 
         ``out`` (block shape ``(n, r)``, C-contiguous) receives the
-        result without allocating; otherwise a workspace-owned buffer
-        is returned (valid until the next same-``r`` application).
+        result without allocating; otherwise a fresh copy is returned
+        (the sweep itself still runs in the workspace buffers, so
+        callers may hold several results simultaneously).
         """
         x = np.asarray(x, dtype=float)
         single = x.ndim == 1

@@ -8,6 +8,8 @@
 * :mod:`~repro.studies.ablation` — predictor design ablations: what
   each ingredient (Adams-Bashforth base, MGS correction, force input,
   subdomain split, history length) buys in solver iterations.
+* :mod:`~repro.studies.weakscaling` — weak/strong-scaling sweeps over
+  the distributed part-local solver, one campaign cell per part count.
 
 Both sweeps are also expressible as *campaigns* (see
 :mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
@@ -31,6 +33,12 @@ from repro.studies.ablation import (
     run_ablation_campaign,
     run_predictor_ablation,
 )
+from repro.studies.weakscaling import (
+    ScalingPoint,
+    run_scaling_campaign,
+    scaling_cells,
+    scaling_table,
+)
 
 __all__ = [
     "StepProfile",
@@ -45,4 +53,8 @@ __all__ = [
     "run_predictor_ablation",
     "ablation_cells",
     "run_ablation_campaign",
+    "ScalingPoint",
+    "scaling_cells",
+    "run_scaling_campaign",
+    "scaling_table",
 ]

@@ -273,7 +273,7 @@ def _run_sensitivity_cell(params: dict) -> dict:
     """Campaign executor: characterize the declared workload, replay it
     on the scaled module, return the modeled point."""
     from repro.analysis.waves import BandlimitedImpulse
-    from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+    from repro.hardware.specs import module_by_name
     from repro.util.rng import spawn_rngs
     from repro.workloads.ground import GROUND_MODELS, build_ground_problem
 
@@ -290,7 +290,7 @@ def _run_sensitivity_cell(params: dict) -> dict:
         problem, forces, nt=params["nt"], window_start=params["window_start"],
         s=params["s"], n_regions=params["n_regions"],
     )
-    base = SINGLE_GH200 if params["module"] == "single-gh200" else ALPS_MODULE
+    base = module_by_name(params["module"])
     scaled = scaled_module(base, params["param"], params["factor"])
     point = modeled_step_time(profile, scaled, cpu_threads=params["cpu_threads"])
     return {

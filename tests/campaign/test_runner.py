@@ -111,6 +111,23 @@ def test_report_tables(tiny_spec, tmp_path):
     assert ("stratified", "w0") in by_s
 
 
+def test_report_separates_part_counts(tmp_path):
+    """Distributed cells aggregate per part count (method@pN) instead
+    of blending nparts=1 and nparts>1 into one meaningless mean."""
+    from repro.campaign.spec import CampaignSpec, default_waves
+
+    spec = CampaignSpec(
+        name="np", models=("stratified",), waves=default_waves(1),
+        methods=("ebe-mcg@cpu-gpu",), resolutions=((2, 2, 1),),
+        cases=2, steps=3, module="alps", nparts=(1, 2), s_min=2, s_max=4,
+    )
+    rep = CampaignRunner(store=ResultStore(tmp_path), jobs=1).run(spec)
+    by_m = rep.by_method()
+    assert set(by_m) == {"ebe-mcg@cpu-gpu", "ebe-mcg@cpu-gpu@p2"}
+    assert all(a["n_cells"] == 1 for a in by_m.values())
+    assert "ebe-mcg@cpu-gpu@p2" in rep.render()
+
+
 def test_store_artifact_schema(tiny_spec, tmp_path):
     store = ResultStore(tmp_path)
     CampaignRunner(store=store, jobs=1).run(tiny_spec)

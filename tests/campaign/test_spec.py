@@ -59,6 +59,77 @@ def test_seed_changes_with_campaign_seed():
     assert s0 != s1
 
 
+def test_nparts_axis_expands_cells():
+    spec = make_spec(models=("stratified",), methods=("ebe-mcg@cpu-gpu",),
+                     nparts=(1, 2, 4))
+    cells = spec.cells()
+    assert spec.n_cells == 1 * 2 * 1 * 1 * 3 == len(cells)
+    assert len({c.key for c in cells}) == len(cells)
+    labels = [c.label for c in cells if c.params.get("nparts")]
+    assert all(label.endswith(("/p2", "/p4")) for label in labels)
+
+
+def test_nparts_one_keeps_pre_axis_cell_hash():
+    """Adding the nparts axis must not invalidate cached single-part
+    cells: nparts == 1 leaves the cell params (and hash) untouched."""
+    base = make_spec(models=("stratified",), methods=("ebe-mcg@cpu-gpu",))
+    grown = make_spec(models=("stratified",), methods=("ebe-mcg@cpu-gpu",),
+                      nparts=(1, 2))
+    base_keys = {c.label: c.key for c in base.cells()}
+    for cell in grown.cells():
+        if "nparts" not in cell.params:
+            assert cell.key == base_keys[cell.label]
+        else:
+            assert cell.key not in base_keys.values()
+    # the scenario seed is nparts-independent: scaling sweeps compare
+    # identical physics
+    seeds = {c.params["seed"] for c in grown.cells()}
+    assert len(seeds) == len(base.cells())
+
+
+def test_nparts_requires_partitionable_methods():
+    with pytest.raises(ValueError):
+        make_spec(methods=("crs-cg@gpu",), nparts=(1, 2))
+    with pytest.raises(ValueError):
+        make_spec(methods=("ebe-mcg@cpu-gpu",), nparts=())
+    with pytest.raises(ValueError):
+        make_spec(methods=("ebe-mcg@cpu-gpu",), nparts=(0,))
+
+
+def test_nparts_axis_skips_baseline_methods():
+    """A mixed grid fans only partitionable methods over the axis:
+    baselines run once, so distributed-vs-baseline comparisons fit in
+    one cached campaign."""
+    spec = make_spec(models=("stratified",),
+                     methods=("crs-cg@gpu", "ebe-mcg@cpu-gpu"),
+                     nparts=(1, 2, 4))
+    cells = spec.cells()
+    assert spec.n_cells == len(cells) == 2 * (1 + 3)  # 2 waves x (crs + 3 ebe)
+    by_method = {}
+    for c in cells:
+        by_method.setdefault(c.params["method"], []).append(
+            c.params.get("nparts", 1)
+        )
+    assert by_method["crs-cg@gpu"] == [1, 1]
+    assert by_method["ebe-mcg@cpu-gpu"] == [1, 2, 4, 1, 2, 4]
+
+
+def test_module_validated():
+    """A typo'd module name must fail at spec time, not silently model
+    the wrong hardware per cell."""
+    with pytest.raises(ValueError, match="unknown module"):
+        make_spec(module="single_gh200")
+
+
+def test_nparts_roundtrips_through_json(tmp_path):
+    spec = make_spec(models=("stratified",), methods=("ebe-mcg@cpu-gpu",),
+                     nparts=(1, 4))
+    path = spec.to_json(tmp_path / "spec.json")
+    again = CampaignSpec.from_json(path)
+    assert again.nparts == (1, 4)
+    assert [c.key for c in again.cells()] == [c.key for c in spec.cells()]
+
+
 def test_key_reflects_content():
     c = make_spec().cells()[0]
     changed = dict(c.params, steps=c.params["steps"] + 1)

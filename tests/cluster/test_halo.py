@@ -47,6 +47,57 @@ def test_comm_bytes_charged(dist, rng):
     assert t.total_bytes("halo.exchange") == pytest.approx(d.comm_bytes_per_matvec)
 
 
+def test_halo_exchange_charges_comm_bytes(dist, rng):
+    """The literal MPI path (`matvec_parts`/`halo_exchange`) accounts
+    the same wire traffic as the fused `matvec`."""
+    problem, _, d = dist
+    with tally_scope() as t:
+        d.matvec_parts(rng.standard_normal(problem.n_dofs))
+    assert t.calls("halo.exchange") == 1
+    assert t.total_bytes("halo.exchange") == pytest.approx(d.comm_bytes_per_matvec)
+    # multi-RHS columns charge per column
+    locals_ = [rng.standard_normal((3 * n.size, 4)) for n in d.local_to_global]
+    with tally_scope() as t:
+        d.halo_exchange(locals_)
+    assert t.total_bytes("halo.exchange") == pytest.approx(
+        4 * d.comm_bytes_per_matvec
+    )
+
+
+def test_halo_exchange_multi_rhs_columns(dist, rng):
+    """Exchanging an (ld, r) block equals column-wise single exchanges
+    bit for bit."""
+    _, _, d = dist
+    r = 3
+    blocks = [rng.standard_normal((3 * n.size, r)) for n in d.local_to_global]
+    fused = d.halo_exchange(blocks)
+    for k in range(r):
+        cols = d.halo_exchange([b[:, k] for b in blocks])
+        for p in range(d.nparts):
+            np.testing.assert_array_equal(fused[p][:, k], cols[p])
+
+
+def test_halo_exchange_out_buffers(dist, rng):
+    """`out=` writes the exchange into caller buffers without changing
+    the result (the solver hot-path entry)."""
+    _, _, d = dist
+    blocks = [rng.standard_normal((3 * n.size, 2)) for n in d.local_to_global]
+    ref = d.halo_exchange(blocks)
+    outs = [np.empty_like(b) for b in blocks]
+    got = d.halo_exchange(blocks, out=outs)
+    assert all(g is o for g, o in zip(got, outs))
+    for p in range(d.nparts):
+        np.testing.assert_array_equal(got[p], ref[p])
+
+
+def test_exchange_plan_cached(dist, rng):
+    """The per-part index plan is built once, not per exchange."""
+    problem, _, d = dist
+    plan_a = d.exchange_plan
+    d.matvec_parts(rng.standard_normal(problem.n_dofs))
+    assert d.exchange_plan is plan_a
+
+
 def test_plan_symmetry(dist):
     _, info, _ = dist
     plan = build_halo_plan(info)

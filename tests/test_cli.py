@@ -41,6 +41,14 @@ def test_run_command(capsys, tmp_path):
     assert (tmp_path / "out.vtk").exists()
 
 
+def test_run_single_step(capsys):
+    """--steps 1 must not crash on an empty summary window."""
+    rc = main(["run", "--resolution", "2,2,1", "--method", "crs-cg@gpu",
+               "--cases", "1", "--steps", "1"])
+    assert rc == 0
+    assert "elapsed_per_step_per_case_s" in capsys.readouterr().out
+
+
 def test_run_baseline_on_alps(capsys):
     rc = main([
         "run", "--model", "stratified", "--resolution", "2,2,1",
@@ -146,3 +154,48 @@ def test_campaign_bad_grid_rejected(tmp_path):
         main(["campaign", "--jobs", "0", "--store", str(tmp_path)])
     with pytest.raises(SystemExit):
         main(["campaign", "--waves", "0", "--store", str(tmp_path)])
+
+
+# ------------------------------------------------------- distributed
+def test_run_command_nparts(capsys):
+    rc = main([
+        "run", "--model", "stratified", "--resolution", "2,2,1",
+        "--method", "ebe-mcg@cpu-gpu", "--cases", "2", "--steps", "3",
+        "--s-min", "2", "--s-max", "4", "--module", "alps",
+        "--nparts", "2",
+    ])
+    assert rc == 0
+    assert "elapsed_per_step_per_case_s" in capsys.readouterr().out
+
+
+def test_run_command_nparts_rejected_for_baseline():
+    with pytest.raises(SystemExit):
+        main(["run", "--resolution", "2,2,1", "--method", "crs-cg@gpu",
+              "--cases", "1", "--steps", "2", "--nparts", "2"])
+    with pytest.raises(SystemExit):
+        main(["run", "--resolution", "2,2,1", "--method", "ebe-mcg@cpu-gpu",
+              "--cases", "2", "--steps", "2", "--nparts", "0"])
+
+
+def test_campaign_nparts_axis(capsys, tmp_path):
+    """--nparts adds the distributed-solve axis: one cell per part
+    count, cached like any grid cell."""
+    store = tmp_path / "store"
+    args = [
+        "campaign", "--models", "stratified", "--waves", "1",
+        "--methods", "ebe-mcg@cpu-gpu", "--resolutions", "2,2,1",
+        "--cases", "2", "--steps", "3", "--module", "alps",
+        "--nparts", "1,2", "--store", str(store),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "2 cells" in out
+    assert "2 computed, 0 cache hits" in out
+    assert main(args) == 0
+    assert "2 cache hits" in capsys.readouterr().out
+
+
+def test_campaign_nparts_rejected_for_unpartitionable(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--methods", "crs-cg@gpu", "--nparts", "1,2",
+              "--store", str(tmp_path)])
