@@ -8,7 +8,6 @@ for the forced and free-vibration windows separately.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import bench_forces, format_table, write_table

@@ -21,7 +21,6 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import format_table, write_table
-from repro.hardware.calibration import efficiency_for
 from repro.hardware.roofline import kernel_time
 from repro.hardware.specs import SINGLE_GH200
 from repro.sparse.traffic import crs_traffic, ebe_traffic

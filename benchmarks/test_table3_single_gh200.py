@@ -17,7 +17,6 @@ CPU memory).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import bench_forces, format_table, write_table

@@ -75,6 +75,7 @@ class CampaignReport:
                     "wave": p.get("wave", {}).get("name"),
                     "method": p.get("method"),
                     "nparts": p.get("nparts", 1),
+                    "precision": p.get("precision", "fp64"),
                     "resolution": "x".join(map(str, p.get("resolution", []))),
                     "n_dofs": o.result.get("n_dofs"),
                     "cached": o.cached,
@@ -82,6 +83,7 @@ class CampaignReport:
                         "elapsed_per_step_per_case_s"
                     ),
                     "iterations_per_step": s.get("iterations_per_step"),
+                    "achieved_relres": s.get("achieved_relres"),
                     "energy_per_step_per_case_J": s.get(
                         "energy_per_step_per_case_J"
                     ),
@@ -102,28 +104,39 @@ class CampaignReport:
             vals = [r[k] for r in rows if r[k] is not None]
             return float(np.mean(vals)) if vals else float("nan")
 
+        def worst_of(k):
+            vals = [r[k] for r in rows if r.get(k) is not None]
+            return float(max(vals)) if vals else float("nan")
+
         return {
             "n_cells": len(rows),
             "elapsed_per_step_per_case_s": mean_of("elapsed_per_step_per_case_s"),
             "iterations_per_step": mean_of("iterations_per_step"),
+            "achieved_relres": worst_of("achieved_relres"),
             "energy_per_step_per_case_J": mean_of("energy_per_step_per_case_J"),
         }
 
+    @staticmethod
+    def _variant(r: dict) -> str:
+        """Display name of a method variant: part count and storage
+        precision are appended at non-default values (``method@p4``,
+        ``method@fp21``) — averaging across either axis would present
+        a meaningless blend as the method's throughput."""
+        m = r["method"]
+        if r["nparts"] != 1:
+            m += f"@p{r['nparts']}"
+        if r["precision"] != "fp64":
+            m += f"@{r['precision']}"
+        return m
+
     def by_method(self) -> dict[str, dict]:
-        """Mean per-cell metrics for each method over all scenarios.
-
-        Distributed cells aggregate per part count (``method@pN``) —
-        averaging nparts=1 with nparts=8 cells would present a
-        meaningless blend as the method's throughput.
-        """
-
-        def variant(r: dict) -> str:
-            m = r["method"]
-            return m if r["nparts"] == 1 else f"{m}@p{r['nparts']}"
-
+        """Mean per-cell metrics for each method variant (see
+        :meth:`_variant`) over all scenarios."""
         return {
             k[0]: self._agg(rows)
-            for k, rows in sorted(self._grouped(lambda r: (variant(r),)).items())
+            for k, rows in sorted(
+                self._grouped(lambda r: (self._variant(r),)).items()
+            )
         }
 
     def by_scenario(self) -> dict[tuple[str, str], dict]:
@@ -142,6 +155,37 @@ class CampaignReport:
             )
         }
 
+    def by_precision(self) -> dict[tuple[str, int, str], dict]:
+        """Per (method, nparts, precision) aggregates, each annotated
+        with the iteration inflation and speedup against its own fp64
+        twin (``None`` when the campaign has no fp64 cell to anchor
+        on) — the transprecision accuracy-vs-speed columns.
+        """
+        groups = self._grouped(
+            lambda r: (r["method"], r["nparts"], r["precision"])
+        )
+        out: dict[tuple[str, int, str], dict] = {}
+        for key, rows in sorted(groups.items()):
+            method, nparts, prec = key
+            agg = self._agg(rows)
+            base = groups.get((method, nparts, "fp64"))
+            inflation = speedup = None
+            if base is not None:
+                ref = self._agg(base)
+                if agg["iterations_per_step"] and ref["iterations_per_step"]:
+                    inflation = (
+                        agg["iterations_per_step"] / ref["iterations_per_step"]
+                    )
+                if agg["elapsed_per_step_per_case_s"]:
+                    speedup = (
+                        ref["elapsed_per_step_per_case_s"]
+                        / agg["elapsed_per_step_per_case_s"]
+                    )
+            agg["iteration_inflation"] = inflation
+            agg["speedup_vs_fp64"] = speedup
+            out[key] = agg
+        return out
+
     # -- rendering ----------------------------------------------------
     def method_table(self) -> str:
         rows = [
@@ -157,6 +201,29 @@ class CampaignReport:
         return format_table(
             f"campaign {self.spec.name}: per-method summary",
             ["method", "cells", "t/step/case [s]", "iters/step", "J/step/case"],
+            rows,
+        )
+
+    def precision_table(self) -> str:
+        def fmt(v, spec: str, missing: str = "-") -> str:
+            return missing if v is None or v != v else format(v, spec)
+
+        rows = [
+            [
+                f"{m}@p{p}" if p != 1 else m,
+                prec,
+                f"{a['elapsed_per_step_per_case_s']:.3e}",
+                fmt(a["speedup_vs_fp64"], ".2f"),
+                f"{a['iterations_per_step']:.1f}",
+                fmt(a["iteration_inflation"], ".3f"),
+                fmt(a["achieved_relres"], ".2e"),
+            ]
+            for (m, p, prec), a in self.by_precision().items()
+        ]
+        return format_table(
+            f"campaign {self.spec.name}: transprecision summary",
+            ["method", "precision", "t/step/case [s]", "speedup",
+             "iters/step", "inflation", "achieved relres"],
             rows,
         )
 
@@ -184,7 +251,13 @@ class CampaignReport:
         )
 
     def render(self) -> str:
-        parts = [self.method_table(), self.scenario_table(), self.cache_line()]
+        parts = [self.method_table(), self.scenario_table()]
+        # the transprecision cross-section only earns its space when a
+        # reduced-precision cell exists (fp64-only campaigns render as
+        # they always have)
+        if any(r["precision"] != "fp64" for r in self.rows()):
+            parts.append(self.precision_table())
+        parts.append(self.cache_line())
         if self.n_failed:
             parts.append("failures:")
             parts.extend(f"  {label}: {err}" for label, err in self.failures())

@@ -86,9 +86,10 @@ def run_method_cell(params: dict) -> dict:
     Per-case forces come from RNG streams spawned off the cell's
     content-derived seed, so results are independent of worker
     placement and grid composition.  An optional ``"nparts"`` entry
-    (> 1) runs the cell through the distributed part-local solver —
-    the scenario seed is unchanged, so scaling sweeps compare identical
-    physics across part counts.
+    (> 1) runs the cell through the distributed part-local solver, and
+    an optional ``"precision"`` entry (non-fp64) through the
+    transprecision solver stack — the scenario seed is unchanged by
+    either, so sweeps along both axes compare identical physics.
     """
     import numpy as np
 
@@ -126,6 +127,7 @@ def run_method_cell(params: dict) -> dict:
         eps=params["eps"],
         s_range=(params["s_min"], params["s_max"]),
         nparts=params.get("nparts", 1),
+        precision=params.get("precision", "fp64"),
     )
     window = (max(1, steps * 5 // 8), steps + 1)
     return {

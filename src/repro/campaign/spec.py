@@ -45,6 +45,14 @@ def _partitionable() -> tuple[str, ...]:
     return PARTITIONABLE_METHODS
 
 
+def _validate_precision(name: str) -> str:
+    """Spec-time precision validation (lazy import; the registry's own
+    resolver raises loudly on unknown names)."""
+    from repro.sparse.precision import as_precision
+
+    return as_precision(name).name
+
+
 def _canonical(params: dict) -> str:
     """Stable JSON encoding used for hashing and storage."""
     return json.dumps(params, sort_keys=True, separators=(",", ":"))
@@ -117,17 +125,19 @@ def method_cell_params(
     s_max: int,
     seed: int,
     nparts: int = 1,
+    precision: str = "fp64",
 ) -> tuple[dict, str]:
     """Canonical ``(params, label)`` of one ``"method"`` campaign cell.
 
     The single owner of the method-cell schema: grid expansion
-    (:meth:`CampaignSpec.cells`) and the scaling studies
-    (:mod:`repro.studies.weakscaling`) both build their cells here, so
+    (:meth:`CampaignSpec.cells`) and the scaling/transprecision studies
+    (:mod:`repro.studies.weakscaling`,
+    :mod:`repro.studies.transprecision`) all build their cells here, so
     equivalent work always produces the same content hash.  ``nparts``
-    enters the params (and hence the hash) only when > 1 — the
-    content-addition discipline that keeps pre-axis cells cached —
-    and the scenario ``seed`` is nparts-independent, so scaling sweeps
-    compare identical physics.
+    and ``precision`` enter the params (and hence the hash) only at
+    non-default values — the content-addition discipline that keeps
+    pre-axis cells cached — and the scenario ``seed`` is independent
+    of both, so sweeps along either axis compare identical physics.
     """
     res = tuple(int(x) for x in resolution)
     res_tag = "x".join(map(str, res))
@@ -148,6 +158,9 @@ def method_cell_params(
     if nparts > 1:
         params["nparts"] = int(nparts)
         label += f"/p{int(nparts)}"
+    if precision != "fp64":
+        params["precision"] = _validate_precision(str(precision))
+        label += f"/{precision}"
     return params, label
 
 
@@ -198,6 +211,13 @@ class CampaignSpec:
     #: cells keep their pre-axis content hash, so adding part counts to
     #: an existing campaign never invalidates cached single-part cells.
     nparts: tuple[int, ...] = (1,)
+    #: Transprecision axis: every method additionally runs at each
+    #: storage precision here (``"fp64"`` / ``"fp32"`` / ``"fp21"``) —
+    #: the accuracy-vs-speed scenario dimension.  ``"fp64"`` cells keep
+    #: their pre-axis content hash (same discipline as ``nparts``), so
+    #: adding precisions to an existing campaign never invalidates
+    #: cached full-precision cells.
+    precision: tuple[str, ...] = ("fp64",)
 
     def __post_init__(self) -> None:
         from repro.core.methods import METHODS
@@ -255,6 +275,15 @@ class CampaignSpec:
                 "nparts > 1 needs at least one partitionable method "
                 f"({', '.join(_partitionable())})"
             )
+        object.__setattr__(
+            self, "precision", tuple(str(p) for p in self.precision)
+        )
+        if not self.precision:
+            raise ValueError("campaign grid has an empty axis")
+        for prec in self.precision:
+            _validate_precision(prec)
+        if len(set(self.precision)) != len(self.precision):
+            raise ValueError("duplicate precision entries")
 
     def _part_axis(self, method: str) -> tuple[int, ...]:
         """The part counts one method expands over (baselines run once)."""
@@ -266,6 +295,7 @@ class CampaignSpec:
             len(self.models)
             * len(self.waves)
             * len(self.resolutions)
+            * len(self.precision)
             * sum(len(self._part_axis(m)) for m in self.methods)
         )
 
@@ -276,15 +306,16 @@ class CampaignSpec:
             self.models, self.waves, self.methods, self.resolutions
         ):
             for np_ in self._part_axis(method):
-                params, label = method_cell_params(
-                    model, wave, method, res,
-                    cases=self.cases, steps=self.steps, module=self.module,
-                    eps=self.eps, s_min=self.s_min, s_max=self.s_max,
-                    seed=self.seed, nparts=np_,
-                )
-                out.append(
-                    CampaignCell(kind="method", params=params, label=label)
-                )
+                for prec in self.precision:
+                    params, label = method_cell_params(
+                        model, wave, method, res,
+                        cases=self.cases, steps=self.steps, module=self.module,
+                        eps=self.eps, s_min=self.s_min, s_max=self.s_max,
+                        seed=self.seed, nparts=np_, precision=prec,
+                    )
+                    out.append(
+                        CampaignCell(kind="method", params=params, label=label)
+                    )
         return out
 
     # -- (de)serialization --------------------------------------------

@@ -29,8 +29,10 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.hardware.specs import MODULES
+    from repro.sparse.precision import PRECISIONS
 
     modules = sorted(MODULES)
+    precisions = sorted(PRECISIONS)
     p = argparse.ArgumentParser(
         prog="repro",
         description="Heterogeneous CPU-GPU time-evolution solver (SC'24 reproduction)",
@@ -57,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nparts", type=int, default=1,
                      help="mesh partitions for the distributed solve "
                           "(ebe-mcg@cpu-gpu only)")
+    run.add_argument("--precision", default="fp64", choices=precisions,
+                     help="transprecision storage policy of the solver")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", default=None, help="save result JSON here")
     run.add_argument("--vtk", default=None, help="save final displacement VTK here")
@@ -87,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--nparts", default="1",
                       help="comma-separated part counts for the distributed "
                            "solve axis, e.g. '1,2,4' (ebe-mcg@cpu-gpu only)")
+    camp.add_argument("--precision", default="fp64",
+                      help="comma-separated storage precisions for the "
+                           "transprecision axis, e.g. 'fp64,fp21'")
     camp.add_argument("--module", default="single-gh200",
                       choices=modules)
     camp.add_argument("--seed", type=int, default=0)
@@ -178,6 +185,7 @@ def _cmd_run(args) -> int:
         problem, forces, nt=args.steps, method=args.method,
         module=_module(args.module), s_range=(args.s_min, args.s_max),
         cpu_threads=args.threads, nparts=args.nparts,
+        precision=args.precision,
     )
     # same steady-state window convention as the campaign executor
     # (non-empty even for --steps 1)
@@ -246,6 +254,7 @@ def _campaign_spec(args):
             module=args.module,
             seed=args.seed,
             nparts=tuple(int(p) for p in args.nparts.split(",")),
+            precision=tuple(args.precision.split(",")),
         )
     except ValueError as exc:
         raise SystemExit(f"bad campaign grid: {exc}") from exc
@@ -264,6 +273,8 @@ def _cmd_campaign(args) -> int:
     if len(spec.nparts) > 1:
         axes += (", nparts " + ",".join(map(str, spec.nparts))
                  + " on partitionable methods")
+    if len(spec.precision) > 1:
+        axes += ", precision " + ",".join(spec.precision)
     print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells ({axes}), "
           f"jobs={args.jobs}\n")
     print(report.render())

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cluster.partition import PartitionInfo
 from repro.sparse.ebe import EBEOperator
+from repro.sparse.precision import FP64, Precision, as_precision
 from repro.util import counters
 
 __all__ = ["HaloPlan", "build_halo_plan", "DistributedEBE"]
@@ -42,8 +43,10 @@ class HaloPlan:
     ----------
     pair_nodes : {(p, q): node ids} with p < q, global node indices
         shared between the two parts.
-    part_shared_bytes : per-part bytes sent per exchange (3 dofs,
-        fp64, to every neighbour sharing each node).
+    part_shared_bytes : per-part bytes sent per exchange (3 dofs at
+        fp64 words, to every neighbour sharing each node).
+        Transprecision callers scale these reference bytes by the
+        policy's ``storage_ratio`` — the wire carries storage words.
     """
 
     nparts: int
@@ -150,12 +153,24 @@ class DistributedEBE:
     local_to_global: list[np.ndarray]
     comm_bytes_per_matvec: float
     _n_dofs: int
+    precision: Precision = FP64
     _xplan: _ExchangePlan | None = field(default=None, repr=False)
 
     @classmethod
     def from_elements(
-        cls, elem_mats: np.ndarray, info: PartitionInfo
+        cls,
+        elem_mats: np.ndarray,
+        info: PartitionInfo,
+        precision: Precision | str | None = None,
     ) -> "DistributedEBE":
+        """Partition the constrained element matrices over ``info``.
+
+        ``precision`` is the transprecision storage policy: the local
+        EBE operators store/gather at the format, and the halo wire
+        moves storage-precision words, so ``comm_bytes_per_matvec``
+        (and every ``halo.exchange`` charge) shrinks with the itemsize.
+        """
+        prec = as_precision(precision)
         mesh = info.mesh
         plan = build_halo_plan(info)
         local_ops: list[EBEOperator] = []
@@ -168,11 +183,12 @@ class DistributedEBE:
             local_elems = remap[mesh.elems[eids]]
             local_ops.append(
                 EBEOperator(
-                    elem_mats[eids], local_elems, nodes.size, tag="spmv.ebe"
+                    elem_mats[eids], local_elems, nodes.size, tag="spmv.ebe",
+                    precision=prec,
                 )
             )
             l2g.append(nodes)
-        comm = float(plan.part_shared_bytes.sum())
+        comm = float(plan.part_shared_bytes.sum()) * prec.storage_ratio
         return cls(
             info=info,
             plan=plan,
@@ -180,6 +196,7 @@ class DistributedEBE:
             local_to_global=l2g,
             comm_bytes_per_matvec=comm,
             _n_dofs=mesh.n_dofs,
+            precision=prec,
         )
 
     @property

@@ -31,6 +31,7 @@ from repro.hardware.transfer import TransferModel
 from repro.predictor.adams_bashforth import AdamsBashforth
 from repro.predictor.adaptive import AdaptiveSController
 from repro.predictor.datadriven import DataDrivenPredictor
+from repro.sparse.precision import Precision, as_precision
 from repro.util.timeline import Timeline
 
 __all__ = ["METHODS", "HETEROGENEOUS_METHODS", "PARTITIONABLE_METHODS",
@@ -86,37 +87,95 @@ def estimate_memory(
     method: str,
     n_cases: int,
     s_max: int = 32,
+    *,
+    precision: Precision | str | None = None,
+    nparts: int = 1,
+    dist=None,
 ) -> tuple[float, float]:
     """Modeled (cpu_bytes, gpu_bytes) footprint of a method.
 
     Matrix footprints come from the actual assembled/EBE structures;
     history and vector footprints from the actual dof counts — so the
     numbers scale exactly like the paper's Table 3 memory columns.
+    ``precision`` applies real itemsizes: the solver working vectors
+    ``r, z, p, q``, the matrix values and the block-Jacobi inverses are
+    counted at the storage width, while the solution/state vectors and
+    the CPU-side predictor history stay fp64.
+
+    With ``nparts > 1`` (``ebe-mcg@cpu-gpu`` only) the estimate is
+    **per part**: the bottleneck part's footprint — its local operator
+    share, its case vectors over every node it touches (halo *ghost*
+    vectors included) and its halo send/receive staging — which is
+    what one device must actually hold, not the fused global sum.
+    Pass the prebuilt ``dist`` (:class:`~repro.cluster.halo.DistributedEBE`)
+    to reuse an existing partition; otherwise one is derived here.
     """
+    prec = as_precision(precision)
     n = problem.n_dofs
-    vec = 8.0 * n * _VECTORS_PER_CASE
+    # r, z, p, q stream at storage precision; x, b, u, v, a, f stay fp64
+    vec_per_dof = 4 * prec.itemsize + (_VECTORS_PER_CASE - 4) * 8.0
+    vec = vec_per_dof * n
     ab_hist = 8.0 * n * 5  # u + 4 velocities
     dd_hist = 8.0 * n * (s_max + 1) + ab_hist
-    # CRS storage: effective matrix + mass + damping (for the RHS)
-    crs_bytes = 3.0 * problem.crs_operator().memory_bytes()
-    ebe_bytes = 3.0 * problem.ebe_operator().memory_bytes()
+    # precond: one inverted 3x3 block per node = 3 values per dof
+    precond = 3.0 * prec.itemsize * n
 
-    if method == "crs-cg@cpu":
-        return crs_bytes + n_cases * (vec + ab_hist), 0.0
-    if method == "crs-cg@gpu":
-        # CPU keeps an assembly staging copy of the matrix
-        return crs_bytes, crs_bytes + n_cases * (vec + ab_hist)
-    if method == "crs-cg@cpu-gpu":
-        return (
-            crs_bytes + n_cases * dd_hist,
-            crs_bytes + n_cases * vec,
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}")
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    if nparts > 1 and method not in PARTITIONABLE_METHODS:
+        raise ValueError(
+            f"per-part estimates (nparts > 1) require {PARTITIONABLE_METHODS}"
         )
-    if method == "ebe-mcg@cpu-gpu":
+
+    if method.startswith("crs"):
+        # CRS storage: effective matrix + mass + damping (for the RHS)
+        crs_bytes = 3.0 * problem.crs_operator(prec).memory_bytes()
+        if method == "crs-cg@cpu":
+            return crs_bytes + precond + n_cases * (vec + ab_hist), 0.0
+        if method == "crs-cg@gpu":
+            # CPU keeps an assembly staging copy of the matrix
+            return crs_bytes, crs_bytes + precond + n_cases * (vec + ab_hist)
+        return (  # crs-cg@cpu-gpu
+            crs_bytes + n_cases * dd_hist,
+            crs_bytes + precond + n_cases * vec,
+        )
+
+    if nparts == 1:
+        ebe_bytes = 3.0 * problem.ebe_operator(prec).memory_bytes()
         return (
             ebe_bytes + n_cases * dd_hist,
-            ebe_bytes + n_cases * vec,
+            ebe_bytes + precond + n_cases * vec,
         )
-    raise ValueError(f"unknown method {method!r}")
+
+    if dist is None:
+        from repro.cluster.halo import DistributedEBE
+        from repro.cluster.partition import PartitionInfo, partition_elements
+
+        info = PartitionInfo(
+            problem.mesh, partition_elements(problem.mesh, nparts)
+        )
+        dist = DistributedEBE.from_elements(problem.Ae, info, precision=prec)
+    elif dist.nparts != nparts:
+        raise ValueError("prebuilt dist does not match nparts")
+
+    cpu = gpu = 0.0
+    for p, (op, nodes) in enumerate(zip(dist.local_ops, dist.local_to_global)):
+        ld = 3 * nodes.size  # local dofs: owned + halo ghosts
+        local_ebe = 3.0 * op.memory_bytes()
+        local_precond = 3.0 * prec.itemsize * ld
+        # staged halo surface (the literal MPI send buffers), one
+        # column per case, storage-precision words on the wire
+        stage = (
+            dist.plan.part_shared_bytes[p] * prec.storage_ratio * n_cases
+        )
+        gpu_p = local_ebe + local_precond + n_cases * vec_per_dof * ld + stage
+        # the predictor partitions over the same (ghost-inclusive) dofs
+        cpu_p = local_ebe + n_cases * dd_hist * (ld / n)
+        gpu = max(gpu, gpu_p)
+        cpu = max(cpu, cpu_p)
+    return cpu, gpu
 
 
 def _run_baseline(
@@ -127,6 +186,7 @@ def _run_baseline(
     device: str,
     eps: float,
     waveform_dofs: np.ndarray | None,
+    precision: Precision,
 ) -> RunResult:
     """Algorithm 2: everything (AB predictor + CRS-CG) on one device."""
     n_cases = len(forces)
@@ -143,6 +203,7 @@ def _run_baseline(
             predictors=[AdamsBashforth(problem.n_dofs, problem.dt)],
             op_kind="crs",
             eps=eps,
+            precision=precision,
         )
         for f in forces
     ]
@@ -150,7 +211,7 @@ def _run_baseline(
     for it in range(1, nt + 1):
         t0 = tl.makespan
         iters = []
-        t_solve = t_pred = 0.0
+        t_solve = t_pred = relres = 0.0
         for cs in sets:
             guess, tp = cs.predict(it)
             res, ts = cs.solve(it, guess)
@@ -161,6 +222,7 @@ def _run_baseline(
             t_pred += tp_t
             t_solve += ts_t
             iters.append(res.iterations)
+            relres = max(relres, float(res.final_relres.max()))
         records.append(
             StepRecord(
                 step=it,
@@ -170,6 +232,7 @@ def _run_baseline(
                 t_transfer=0.0,
                 t_step=tl.makespan - t0,
                 s_used=0,
+                relres=relres,
             )
         )
         if waveform_dofs is not None:
@@ -179,7 +242,9 @@ def _run_baseline(
 
     pm = PowerModel(module, cpu_load=1.0 if device == "cpu" else 0.0, gpu_load=1.0)
     power = energy_of_timeline(tl, pm)
-    cpu_mem, gpu_mem = estimate_memory(problem, f"crs-cg@{device}", n_cases)
+    cpu_mem, gpu_mem = estimate_memory(
+        problem, f"crs-cg@{device}", n_cases, precision=precision
+    )
     return RunResult(
         method=f"crs-cg@{device}",
         module_name=module.name,
@@ -215,6 +280,7 @@ def _run_heterogeneous(
     cpu_threads: int | None,
     waveform_dofs: np.ndarray | None,
     nparts: int,
+    precision: Precision,
 ) -> RunResult:
     """Algorithms 3 (ebe) / 4 (crs): two sets, CPU/GPU overlapped.
 
@@ -238,7 +304,7 @@ def _run_heterogeneous(
         info = PartitionInfo(
             problem.mesh, partition_elements(problem.mesh, nparts)
         )
-        dist = DistributedEBE.from_elements(problem.Ae, info)
+        dist = DistributedEBE.from_elements(problem.Ae, info, precision=precision)
         preconds = part_block_jacobi(dist)
 
     def make_set(fs: Sequence[Callable[[int], np.ndarray]]) -> CaseSet:
@@ -259,6 +325,7 @@ def _run_heterogeneous(
                 predictors=predictors,
                 op_kind=op_kind,
                 eps=eps,
+                precision=precision,
                 nparts=nparts,
                 link=_part_link(module),
                 dist=dist,
@@ -270,6 +337,7 @@ def _run_heterogeneous(
             predictors=predictors,
             op_kind=op_kind,
             eps=eps,
+            precision=precision,
         )
 
     flop_f, bw_f = cpu_share_factors(cpu_threads)
@@ -292,7 +360,10 @@ def _run_heterogeneous(
 
     method = "ebe-mcg@cpu-gpu" if op_kind == "ebe" else "crs-cg@cpu-gpu"
     power = energy_of_timeline(pipe.timeline, pm)
-    cpu_mem, gpu_mem = estimate_memory(problem, method, n_cases, s_max=s_max)
+    cpu_mem, gpu_mem = estimate_memory(
+        problem, method, n_cases, s_max=s_max, precision=precision,
+        nparts=nparts if op_kind == "ebe" else 1, dist=dist,
+    )
     return RunResult(
         method=method,
         module_name=module.name,
@@ -321,6 +392,7 @@ def run_method(
     cpu_threads: int | None = None,
     waveform_dofs: np.ndarray | None = None,
     nparts: int = 1,
+    precision: Precision | str | None = None,
 ) -> RunResult:
     """Run one of the paper's four methods for ``nt`` time steps.
 
@@ -343,6 +415,13 @@ def run_method(
         its own device with halo exchange every CG iteration; compute
         scales with the bottleneck part, communication is charged on
         the ``nic`` timeline lane.
+    precision : transprecision storage policy (``"fp64"`` / ``"fp32"``
+        / ``"fp21"`` or a :class:`~repro.sparse.precision.Precision`).
+        The solver's streamed data (operator values, working vectors,
+        preconditioner, halo words) is stored — and its traffic
+        modeled — at this width; the time integration, predictors and
+        CG recurrences stay fp64.  The fp64 default is bit-identical
+        to the precision-unaware driver.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -355,12 +434,17 @@ def run_method(
             "the distributed solve path (nparts > 1) requires one of "
             f"{PARTITIONABLE_METHODS}"
         )
+    prec = as_precision(precision)
     if method == "crs-cg@cpu":
-        return _run_baseline(problem, forces, nt, module, "cpu", eps, waveform_dofs)
+        return _run_baseline(
+            problem, forces, nt, module, "cpu", eps, waveform_dofs, prec
+        )
     if method == "crs-cg@gpu":
-        return _run_baseline(problem, forces, nt, module, "gpu", eps, waveform_dofs)
+        return _run_baseline(
+            problem, forces, nt, module, "gpu", eps, waveform_dofs, prec
+        )
     op_kind = "ebe" if method.startswith("ebe") else "crs"
     return _run_heterogeneous(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
-        cpu_threads, waveform_dofs, nparts,
+        cpu_threads, waveform_dofs, nparts, prec,
     )

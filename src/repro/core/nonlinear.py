@@ -19,13 +19,12 @@ CG tolerance against the current operator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
-from repro.core.problem import ElasticProblem, build_problem
+from repro.core.problem import ElasticProblem
 from repro.fem.assembly import apply_dirichlet_to_elements
-from repro.fem.elements import element_mass_stiffness
 from repro.fem.newmark import NewmarkState
 from repro.fem.nonlinear import (
     EquivalentLinearMaterial,

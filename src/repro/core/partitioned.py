@@ -97,12 +97,17 @@ class PartitionedCaseSet(CaseSet):
         if self.dist is None:
             mesh = self.problem.mesh
             info = PartitionInfo(mesh, partition_elements(mesh, self.nparts))
-            self.dist = DistributedEBE.from_elements(self.problem.Ae, info)
+            self.dist = DistributedEBE.from_elements(
+                self.problem.Ae, info, precision=self.precision
+            )
         elif (
             self.dist.nparts != self.nparts
             or self.dist.info.mesh is not self.problem.mesh
+            or self.dist.precision != self.precision
         ):
-            raise ValueError("shared dist does not match this problem/nparts")
+            raise ValueError(
+                "shared dist does not match this problem/nparts/precision"
+            )
         if self.preconds is None:
             self.preconds = part_block_jacobi(self.dist)
         self._comm = CommCostModel(self.link)
@@ -116,6 +121,7 @@ class PartitionedCaseSet(CaseSet):
             local_preconds=self.preconds,
             eps=self.eps,
             workspace=self._dws,
+            precision=self.precision,
         )
 
     # -- cost model -----------------------------------------------------
@@ -150,7 +156,13 @@ class PartitionedCaseSet(CaseSet):
         if self.nparts == 1:
             return 0.0
         n_exchanges = res.loop_iterations + 1
-        halo_bytes = self.dist.plan.max_bytes_per_exchange() * self.r
+        # the wire moves storage-precision words (the plan's reference
+        # bytes are fp64)
+        halo_bytes = (
+            self.dist.plan.max_bytes_per_exchange()
+            * self.precision.storage_ratio
+            * self.r
+        )
         t_halo = self._comm.halo_time([halo_bytes]) * (1.0 - self.overlap_fraction)
         t_reduce = 2.0 * self._comm.allreduce_time(8.0 * self.r, self.nparts)
         return n_exchanges * t_halo + res.loop_iterations * t_reduce

@@ -27,6 +27,7 @@ from repro.hardware.power import PowerModel
 from repro.hardware.roofline import DeviceModel
 from repro.hardware.transfer import TransferModel
 from repro.sparse.cg import CGResult, PCGWorkspace, pcg
+from repro.sparse.precision import Precision, as_precision
 from repro.util.counters import KernelTally, tally_scope
 from repro.util.timeline import Timeline
 
@@ -44,7 +45,10 @@ class CaseSet:
 
     ``op_kind`` selects the solver's matrix representation: ``"ebe"``
     gives Algorithm 3 (EBE-MCG), ``"crs"`` gives Algorithm 4 (CRS-CG;
-    the paper uses r=1 there).
+    the paper uses r=1 there).  ``precision`` is the transprecision
+    storage policy of the solver (operator values, block-Jacobi
+    inverses and CG working vectors); the Newmark states, the RHS
+    build and the predictors stay fp64 — the FP64-accurate outer loop.
     """
 
     problem: ElasticProblem
@@ -52,6 +56,7 @@ class CaseSet:
     predictors: Sequence
     op_kind: str = "ebe"
     eps: float = 1e-8
+    precision: Precision | str | None = None
     states: list[NewmarkState] = field(default_factory=list)
     _pcg_ws: PCGWorkspace = field(default_factory=PCGWorkspace, repr=False)
 
@@ -60,6 +65,7 @@ class CaseSet:
             raise ValueError("one predictor per case required")
         if self.op_kind not in ("ebe", "crs"):
             raise ValueError("op_kind must be 'ebe' or 'crs'")
+        self.precision = as_precision(self.precision)
         if not self.states:
             self.states = [self.problem.zero_state() for _ in self.forces]
 
@@ -69,9 +75,9 @@ class CaseSet:
 
     def _operator(self):
         return (
-            self.problem.ebe_operator()
+            self.problem.ebe_operator(self.precision)
             if self.op_kind == "ebe"
-            else self.problem.crs_operator()
+            else self.problem.crs_operator(self.precision)
         )
 
     def _solve_system(self, B: np.ndarray, guesses: np.ndarray) -> CGResult:
@@ -81,9 +87,10 @@ class CaseSet:
             self._operator(),
             B,
             x0=guesses,
-            precond=self.problem.preconditioner(),
+            precond=self.problem.preconditioner(self.precision),
             eps=self.eps,
             workspace=self._pcg_ws,
+            precision=self.precision,
         )
 
     # -- timing hooks (overridden by PartitionedCaseSet) ---------------
@@ -176,7 +183,13 @@ class HeterogeneousPipeline:
         return self.gpu.throttled(f)
 
     def _exchange_time(self, n_vectors: int) -> float:
-        """Full-duplex C2C exchange: guesses up, solutions down."""
+        """Full-duplex C2C exchange: guesses up, solutions down.
+
+        Always fp64 words: the exchanged vectors are the predictor
+        guesses and the solutions — exactly the ``x``-side data the
+        transprecision policy keeps at full precision (only the
+        solver-internal halo/NIC traffic moves storage-width words).
+        """
         nbytes = 8.0 * self.set_a.problem.n_dofs * n_vectors
         return self.c2c.time(nbytes)
 
@@ -264,6 +277,9 @@ class HeterogeneousPipeline:
                     s_used=s_used_a,
                     s_used_b=s_used_b,
                     t_halo=t_nic_a + t_nic_b,
+                    relres=float(
+                        max(res_a.final_relres.max(), res_b.final_relres.max())
+                    ),
                 )
             )
             if self.waveform_dofs is not None:

@@ -27,6 +27,7 @@ from repro.fem.mesh import Tet10Mesh
 from repro.fem.newmark import NewmarkBeta, NewmarkState
 from repro.sparse.bcrs import BlockCRS
 from repro.sparse.ebe import EBEOperator
+from repro.sparse.precision import Precision, as_precision
 from repro.sparse.precond import BlockJacobi
 
 __all__ = ["ElasticProblem", "build_problem"]
@@ -68,21 +69,35 @@ class ElasticProblem:
         return (3 * self.fixed_nodes[:, None] + np.arange(3)[None, :]).ravel()
 
     # -- operators (lazy, cached) -------------------------------------
-    def crs_operator(self) -> BlockCRS:
-        """Effective matrix in 3x3 block CRS (the baseline storage)."""
-        if "A_crs" not in self._cache:
-            self._cache["A_crs"] = BlockCRS(
-                assemble_bsr(self.Ae, self.mesh.elems, self.n_nodes), tag="spmv.crs"
-            )
-        return self._cache["A_crs"]
+    @staticmethod
+    def _op_key(base: str, prec: Precision) -> str:
+        """Cache key per (operator, storage precision); fp64 keeps the
+        historical bare key."""
+        return base if prec.is_fp64 else f"{base}@{prec.name}"
 
-    def ebe_operator(self) -> EBEOperator:
-        """Effective matrix applied matrix-free (Eq. 8/9)."""
-        if "A_ebe" not in self._cache:
-            self._cache["A_ebe"] = EBEOperator(
-                self.Ae, self.mesh.elems, self.n_nodes, tag="spmv.ebe"
+    def crs_operator(self, precision: Precision | str | None = None) -> BlockCRS:
+        """Effective matrix in 3x3 block CRS (the baseline storage),
+        optionally held at a transprecision storage policy."""
+        prec = as_precision(precision)
+        key = self._op_key("A_crs", prec)
+        if key not in self._cache:
+            self._cache[key] = BlockCRS(
+                assemble_bsr(self.Ae, self.mesh.elems, self.n_nodes),
+                tag="spmv.crs", precision=prec,
             )
-        return self._cache["A_ebe"]
+        return self._cache[key]
+
+    def ebe_operator(self, precision: Precision | str | None = None) -> EBEOperator:
+        """Effective matrix applied matrix-free (Eq. 8/9), optionally
+        held at a transprecision storage policy."""
+        prec = as_precision(precision)
+        key = self._op_key("A_ebe", prec)
+        if key not in self._cache:
+            self._cache[key] = EBEOperator(
+                self.Ae, self.mesh.elems, self.n_nodes, tag="spmv.ebe",
+                precision=prec,
+            )
+        return self._cache[key]
 
     def mass_operator(self, kind: str = "crs") -> BlockCRS | EBEOperator:
         key = f"M_{kind}"
@@ -110,13 +125,20 @@ class ElasticProblem:
                 )
         return self._cache[key]
 
-    def preconditioner(self) -> BlockJacobi:
-        """3x3 block-Jacobi of the constrained effective matrix."""
-        if "precond" not in self._cache:
+    def preconditioner(self, precision: Precision | str | None = None) -> BlockJacobi:
+        """3x3 block-Jacobi of the constrained effective matrix, its
+        block inverses stored at the requested precision."""
+        prec = as_precision(precision)
+        key = self._op_key("precond", prec)
+        if key not in self._cache:
             # Diagonal blocks come matrix-free so the EBE path never
-            # needs the assembled matrix.
-            self._cache["precond"] = BlockJacobi(self.ebe_operator().diagonal_blocks())
-        return self._cache["precond"]
+            # needs the assembled matrix; they are taken from the
+            # matching-precision operator so the inverted blocks see
+            # exactly the values the solver applies.
+            self._cache[key] = BlockJacobi(
+                self.ebe_operator(prec).diagonal_blocks(), precision=prec
+            )
+        return self._cache[key]
 
     # -- stepping helpers ---------------------------------------------
     def zero_state(self) -> NewmarkState:

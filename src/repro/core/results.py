@@ -31,6 +31,7 @@ class StepRecord:
     s_used: int = 0  # history length set A's prediction used (0 = AB-only)
     s_used_b: int = 0  # history length set B's prediction used
     t_halo: float = 0.0  # modeled inter-part halo/allreduce seconds
+    relres: float = 0.0  # worst final relative residual across cases
 
     @property
     def mean_iterations(self) -> float:
@@ -84,6 +85,13 @@ class RunResult:
         recs = self._window(window)
         return float(np.mean([r.mean_iterations for r in recs]))
 
+    def achieved_relres(self, window: tuple[int, int] | None = None) -> float:
+        """Worst solver relative residual over the window — the
+        transprecision safety number (must stay below eps at any
+        storage precision)."""
+        recs = self._window(window)
+        return float(max((r.relres for r in recs), default=0.0))
+
     def energy_per_step_per_case(self, window: tuple[int, int] | None = None) -> float:
         """Module energy per time step per case (paper's last column),
         from the time-averaged module power over the whole run."""
@@ -105,6 +113,7 @@ class RunResult:
             "solver_per_step_per_case_s": self.solver_time_per_step_per_case(window),
             "predictor_per_step_per_case_s": self.predictor_time_per_step_per_case(window),
             "iterations_per_step": self.iterations_per_step(window),
+            "achieved_relres": self.achieved_relres(window),
             "module_power_W": self.power.get("module_power", 0.0),
             "gpu_power_W": self.power.get("gpu_power", 0.0),
             "energy_per_step_per_case_J": self.energy_per_step_per_case(window),

@@ -19,7 +19,7 @@ single-dof analytic tests in ``tests/fem/test_newmark.py``.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

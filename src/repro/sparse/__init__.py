@@ -9,11 +9,21 @@ Implements the two matrix application strategies the paper compares:
   side support (Eq. 9, "EBE4").
 
 plus the preconditioned conjugate gradient solver of Algorithm 1 with
-single- and multi-RHS (MCG) modes, and the analytic per-kernel
-flop/byte traffic models that feed the hardware roofline.
+single- and multi-RHS (MCG) modes, the transprecision storage policies
+(:mod:`repro.sparse.precision`: fp64 / fp32 / fp21 with an
+FP64-accurate outer loop), and the analytic per-kernel flop/byte
+traffic models that feed the hardware roofline.
 """
 
 from repro.sparse.bcrs import BlockCRS
+from repro.sparse.precision import (
+    FP21,
+    FP32,
+    FP64,
+    PRECISIONS,
+    Precision,
+    as_precision,
+)
 from repro.sparse.precond import BlockJacobi
 from repro.sparse.cg import CGResult, pcg
 from repro.sparse.distributed import (
@@ -35,6 +45,12 @@ __all__ = [
     "PartitionedReduction",
     "part_block_jacobi",
     "EBEOperator",
+    "Precision",
+    "FP64",
+    "FP32",
+    "FP21",
+    "PRECISIONS",
+    "as_precision",
     "crs_traffic",
     "ebe_traffic",
     "vector_traffic",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import crs_traffic
 from repro.util import counters
 
@@ -32,13 +33,28 @@ class BlockCRS:
     ----------
     bsr : scipy ``bsr_matrix`` with blocksize (3, 3).
     tag : kernel tag charged on every matvec (default ``"spmv.crs"``).
+    precision : storage policy for the block values — they are
+        quantized once at construction and the per-matvec traffic is
+        charged at the policy's itemsize.  Default fp64 (bit-identical
+        to the precision-unaware matrix).
     """
 
-    def __init__(self, bsr: sp.bsr_matrix, tag: str = "spmv.crs") -> None:
+    def __init__(
+        self,
+        bsr: sp.bsr_matrix,
+        tag: str = "spmv.crs",
+        precision: Precision | str | None = None,
+    ) -> None:
         if not sp.issparse(bsr):
             raise TypeError("expected a scipy sparse matrix")
         bsr = bsr.tobsr(blocksize=(3, 3))
         bsr.sort_indices()
+        self.precision = as_precision(precision)
+        if not self.precision.is_fp64:
+            # tobsr() returns the input itself when already 3x3-blocked:
+            # quantize a private copy, never the caller's matrix
+            bsr = bsr.copy()
+            self.precision.quantize_(bsr.data)
         self._m = bsr
         self._csr = None  # lazy scalar CSR twin for the out= fast path
         self.tag = tag
@@ -66,9 +82,12 @@ class BlockCRS:
 
     def memory_bytes(self) -> int:
         """Device memory needed to store the matrix (paper's CRS
-        footprint: blocks + column indices + row pointers)."""
+        footprint: blocks at the storage itemsize + column indices +
+        row pointers)."""
         return int(
-            self._m.data.nbytes + self._m.indices.nbytes + self._m.indptr.nbytes
+            self._m.data.size * self.precision.itemsize
+            + self._m.indices.nbytes
+            + self._m.indptr.nbytes
         )
 
     def diagonal_blocks(self) -> np.ndarray:
@@ -92,7 +111,8 @@ class BlockCRS:
         """
         x = np.asarray(x)
         n_rhs = 1 if x.ndim == 1 else x.shape[1]
-        w = crs_traffic(self.nnz_blocks, self.n_block_rows)
+        w = crs_traffic(self.nnz_blocks, self.n_block_rows,
+                        value_bytes=self.precision.itemsize)
         counters.charge(self.tag, w.flops * n_rhs, w.bytes * n_rhs)
         if out is None:
             return self._m @ x

@@ -18,6 +18,14 @@ runner and the pipeline hold one per case set), operators that accept
 ``out=`` write into them directly, and the per-iteration vector
 updates run in place.  Only the returned solution and the per-call
 result arrays are freshly allocated.
+
+Transprecision storage (``precision=``): the CG *recurrences* — dot
+products, the scalar dance, the solution update — always run at fp64,
+but the working vectors ``r, z, p, q`` are rounded to the storage
+format on every store (the group's FP32/FP21 trick), and the modeled
+vector traffic is charged at the storage itemsize.  Under the default
+``fp64`` policy every quantization is a no-op and the solve is
+bit-identical to the historical fp64-only implementation.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import vector_traffic
 from repro.util import counters
 
@@ -144,6 +153,7 @@ def pcg(
     record_history: bool = False,
     workspace: PCGWorkspace | None = None,
     reduction=None,
+    precision: Precision | str | None = None,
 ) -> CGResult:
     """Solve ``A x = b`` (column-wise for block ``b``) by preconditioned CG.
 
@@ -167,7 +177,16 @@ def pcg(
         the fused reference reduces in the exact same (deterministic,
         canonical part order) grouping as the part-local loop — the
         basis of the bit-identity guarantee.
+    precision : storage policy (:class:`~repro.sparse.precision.Precision`
+        or name) for the working vectors ``r, z, p, q``: each store is
+        rounded to the format and the per-iteration vector traffic is
+        charged at its itemsize.  ``None``/``"fp64"`` (default) is a
+        no-op — the solve is bit-identical to the fp64-only solver.
+        The right-hand side, the solution and all CG scalars stay fp64
+        (the FP64-accurate outer loop).
     """
+    prec = as_precision(precision)
+    q = prec.quantize_
     b = np.asarray(b, dtype=float)
     single = b.ndim == 1
     B = b[:, None] if single else b
@@ -201,6 +220,7 @@ def pcg(
 
     apply_A(X, out=R)
     np.subtract(B, R, out=R)
+    q(R)
     red.norm(R, out=relres)
     relres /= denom
     initial_relres = relres.copy()
@@ -217,6 +237,7 @@ def pcg(
     while not np.all(done) and loop_it < max_iter:
         loop_it += 1
         apply_M(R, out=Z)
+        q(Z)
         red.dot(Z, R, out=rho)
         # beta = rho/rho_prev, but converged/zero columns would produce
         # 0/0 -> NaN and poison the block update; freeze them at 0.
@@ -228,7 +249,9 @@ def pcg(
             beta.fill(0.0)
         P *= beta
         P += Z
+        q(P)
         apply_A(P, out=Q)
+        q(Q)
         red.dot(P, Q, out=work)
         # Converged (or zero) columns: freeze by zeroing the step.
         work[work == 0.0] = 1.0
@@ -238,9 +261,15 @@ def pcg(
         X += T
         np.multiply(Q, alpha, out=T)
         R -= T
+        q(R)
         np.copyto(rho_prev, rho)
-        w = vector_traffic(n, n_reads=10, n_writes=3, flops_per_entry=12.0)
-        counters.charge("cg.vec", w.flops * r, w.bytes * r)
+        # 13 streams/entry per iteration: the 11 on the r/z/p/q side
+        # move storage-precision words, the solution x (one read + one
+        # write) stays fp64 — the same split estimate_memory footprints
+        w = vector_traffic(n, n_reads=9, n_writes=2, flops_per_entry=12.0,
+                           value_bytes=prec.itemsize)
+        x_bytes = 8.0 * n * 2
+        counters.charge("cg.vec", w.flops * r, (w.bytes + x_bytes) * r)
 
         red.norm(R, out=relres)
         relres /= denom

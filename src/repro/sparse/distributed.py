@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sparse.cg import CGResult
+from repro.sparse.precision import Precision, as_precision
 from repro.sparse.precond import BlockJacobi
 from repro.sparse.traffic import vector_traffic
 from repro.util import counters
@@ -81,10 +82,16 @@ def part_block_jacobi(dist) -> list[BlockJacobi]:
     Each part inverts the blocks of every node it touches (owned and
     ghost), so the preconditioner application needs no communication —
     and the per-node inverses are the same 3x3 inverses the fused
-    ``BlockJacobi(dist.diagonal_blocks())`` holds.
+    ``BlockJacobi(dist.diagonal_blocks())`` holds.  The operator's
+    storage precision carries over, so per-part inverses are quantized
+    exactly like the fused preconditioner at the same policy.
     """
     blocks = dist.diagonal_blocks()
-    return [BlockJacobi(blocks[nodes]) for nodes in dist.local_to_global]
+    prec = getattr(dist, "precision", None)
+    return [
+        BlockJacobi(blocks[nodes], precision=prec)
+        for nodes in dist.local_to_global
+    ]
 
 
 class DistributedPCGWorkspace:
@@ -130,6 +137,7 @@ def distributed_pcg(
     max_iter: int = 10_000,
     record_history: bool = False,
     workspace: DistributedPCGWorkspace | None = None,
+    precision: Precision | str | None = None,
 ) -> CGResult:
     """Solve ``A x = b`` by CG iterating on part-local vector blocks.
 
@@ -146,10 +154,22 @@ def distributed_pcg(
     workspace : reusable :class:`DistributedPCGWorkspace`; pass the
         same instance across solves of one case set to keep the loop
         free of heap traffic.
+    precision : transprecision storage policy for the part-local
+        working vectors (as in :func:`~repro.sparse.cg.pcg`); defaults
+        to the operator's own policy (``dist.precision``), so a
+        distributed operator built at fp21 solves at fp21 without
+        repeating the argument.  The bit-identity guarantee against
+        the fused reference holds at fp64 (the default).
 
     Returns the same :class:`~repro.sparse.cg.CGResult` as the fused
     solver; ``x`` is assembled from each part's owned dofs.
     """
+    prec = (
+        as_precision(precision)
+        if precision is not None
+        else as_precision(getattr(dist, "precision", None))
+    )
+    q = prec.quantize_
     b = np.asarray(b, dtype=float)
     single = b.ndim == 1
     B = b[:, None] if single else b
@@ -212,6 +232,7 @@ def distributed_pcg(
     apply_A(Xp, out=R)
     for p in range(nparts):
         np.subtract(Bp[p], R[p], out=R[p])
+        q(R[p])
     owned_norm(R, relres)
     relres /= denom
     initial_relres = relres.copy()
@@ -230,6 +251,7 @@ def distributed_pcg(
         loop_it += 1
         for p in range(nparts):
             local_preconds[p].apply(R[p], out=Z[p])
+            q(Z[p])
         owned_dot(Z, R, rho)
         # beta = rho/rho_prev with converged/zero columns frozen at 0
         # (the exact scalar dance of repro.sparse.cg.pcg).
@@ -242,7 +264,10 @@ def distributed_pcg(
         for p in range(nparts):
             P[p] *= beta
             P[p] += Z[p]
+            q(P[p])
         apply_A(P, out=Q)
+        for p in range(nparts):
+            q(Q[p])
         owned_dot(P, Q, work)
         work[work == 0.0] = 1.0
         np.divide(rho, work, out=alpha)
@@ -252,10 +277,15 @@ def distributed_pcg(
             Xp[p] += T[p]
             np.multiply(Q[p], alpha, out=T[p])
             R[p] -= T[p]
+            q(R[p])
+            # storage-width r/z/p/q streams + the fp64 solution read
+            # and write — the exact split of the fused loop's charge
             w = vector_traffic(
-                gdofs[p].size, n_reads=10, n_writes=3, flops_per_entry=12.0
+                gdofs[p].size, n_reads=9, n_writes=2, flops_per_entry=12.0,
+                value_bytes=prec.itemsize,
             )
-            counters.charge("cg.vec", w.flops * r, w.bytes * r)
+            x_bytes = 8.0 * gdofs[p].size * 2
+            counters.charge("cg.vec", w.flops * r, (w.bytes + x_bytes) * r)
         np.copyto(rho_prev, rho)
 
         owned_norm(R, relres)

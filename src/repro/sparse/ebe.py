@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fem.assembly import element_dof_ids
+from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import ebe_traffic
 from repro.util import counters
 
@@ -57,6 +58,11 @@ class EBEOperator:
     tag : base kernel tag; the actual charge is ``f"{tag}{r}"`` so
         single- and multi-RHS sweeps are distinguishable
         (``spmv.ebe1``, ``spmv.ebe4``, ...).
+    precision : storage policy for the element matrices and the fused
+        gather buffers (the transprecision kernel): values are
+        quantized to the format and the modeled vector traffic is
+        charged at its itemsize.  Default fp64 — bit-identical to the
+        precision-unaware operator.
     """
 
     def __init__(
@@ -65,11 +71,15 @@ class EBEOperator:
         elems: np.ndarray,
         n_nodes: int,
         tag: str = "spmv.ebe",
+        precision: Precision | str | None = None,
     ) -> None:
+        self.precision = as_precision(precision)
         elem_mats = np.asarray(elem_mats, dtype=float)
         ne, nd, nd2 = elem_mats.shape
         if nd != nd2 or nd != 3 * elems.shape[1]:
             raise ValueError("element matrices inconsistent with connectivity")
+        if not self.precision.is_fp64:
+            elem_mats = self.precision.quantize(elem_mats)
         self.Ae = elem_mats
         self.elems = np.asarray(elems, dtype=np.int64)
         self.n_nodes = int(n_nodes)
@@ -145,6 +155,7 @@ class EBEOperator:
         # the indices through a temporary); both index arrays are
         # validated in-range at construction.
         np.take(X, self._dof, axis=0, out=ws.xe, mode="clip")  # gather
+        self.precision.quantize_(ws.xe)  # gather buffer in storage precision
         np.matmul(self.Ae, ws.xe, out=ws.ye)
         flat_contrib = ws.ye.reshape(-1, r)
         np.take(flat_contrib, self._scatter_order, axis=0,
@@ -157,7 +168,8 @@ class EBEOperator:
         Y.fill(0.0)
         Y[self._scatter_targets] = ws.reduced
 
-        w = ebe_traffic(self.n_elems, self.n_nodes, n_rhs=r)
+        w = ebe_traffic(self.n_elems, self.n_nodes, n_rhs=r,
+                        value_bytes=self.precision.itemsize)
         counters.charge(f"{self.tag}{r}", w.flops * r, w.bytes * r)
         if single:
             return Y[:, 0].copy() if out is None else Y[:, 0]

@@ -1,0 +1,129 @@
+"""Transprecision storage policies: fp64 / fp32 / fp21.
+
+The solver family is bandwidth-bound, so the paper group's signature
+follow-on trick is *transprecision storage*: keep the CG recurrences
+(dot products, scalar updates, the solution vector) at FP64 accuracy,
+but hold the streamed data — the working vectors ``r, z, p, q``, the
+matrix values, the preconditioner blocks, the halo-exchange words — in
+a narrower format, cutting the memory traffic of every bandwidth-bound
+kernel proportionally to the word size.
+
+A :class:`Precision` bundles the two things every layer needs:
+
+* ``itemsize`` — modeled storage bytes per value, which parameterizes
+  the analytic traffic models (:mod:`repro.sparse.traffic`), the halo
+  wire bytes and the memory estimates;
+* ``quantize`` / ``quantize_`` — the numerical emulation: values are
+  rounded to the storage format on every store, so the executed NumPy
+  kernels see exactly the information a real FP32/FP21 buffer would
+  hold (while the arrays themselves stay fp64 — the compute format).
+
+Formats
+-------
+``fp64``
+    The reference: 8-byte values, quantization is a no-op.  Every
+    precision-aware code path is **bit-identical** to the historical
+    fp64-only implementation under this policy.
+``fp32``
+    4-byte values, 23 stored mantissa bits (relative error < 2^-23).
+``fp21``
+    The group's packed 21-bit format (1 sign + 8 exponent + 12
+    mantissa bits, three values per 64-bit word -> 21/8 bytes each),
+    relative error < 2^-12.
+
+Both reduced formats are emulated by *mantissa truncation on store*:
+the fp64 mantissa is masked down to the format's stored bits, in
+place, with no temporaries — the quantized value is monotone in the
+input, moves toward zero, and a second store is a no-op (idempotent).
+The emulation keeps fp64's exponent range (solver values sit far
+inside the formats' fp32-derived exponent range, so range clipping is
+not modeled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "FP64",
+    "FP32",
+    "FP21",
+    "PRECISIONS",
+    "as_precision",
+]
+
+
+@lru_cache(maxsize=None)
+def _truncation_mask(mantissa_bits: int) -> np.uint64:
+    """Bit mask keeping sign, exponent and the top ``mantissa_bits``
+    of fp64's 52 mantissa bits."""
+    return np.uint64(~((1 << (52 - mantissa_bits)) - 1) & 0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class Precision:
+    """One storage-precision policy (see module docstring).
+
+    Instances are immutable and interned in :data:`PRECISIONS`; compare
+    with ``is`` or by :attr:`name`.
+    """
+
+    name: str
+    itemsize: float  # modeled storage bytes per value
+    mantissa_bits: int  # stored mantissa bits (52 / 23 / 12)
+
+    @property
+    def is_fp64(self) -> bool:
+        return self.name == "fp64"
+
+    def quantize_(self, a: np.ndarray) -> np.ndarray:
+        """Round ``a`` (fp64, any shape) to the storage format in place.
+
+        The fp64 policy returns ``a`` untouched — precision-aware hot
+        loops call this unconditionally and stay bit-identical to the
+        fp64-only implementation.  The reduced formats truncate the
+        mantissa through a same-size integer view: no temporaries, so
+        the solver hot loops stay allocation-free at every policy.
+        """
+        if self.name == "fp64":
+            return a
+        bits = a.view(np.uint64)
+        bits &= _truncation_mask(self.mantissa_bits)
+        return a
+
+    def quantize(self, a: np.ndarray) -> np.ndarray:
+        """Quantized fp64 copy of ``a`` (the input is left untouched)."""
+        return self.quantize_(np.array(a, dtype=np.float64, copy=True))
+
+    @property
+    def storage_ratio(self) -> float:
+        """Storage bytes relative to fp64 (1.0 / 0.5 / 21/64)."""
+        return self.itemsize / 8.0
+
+
+FP64 = Precision(name="fp64", itemsize=8.0, mantissa_bits=52)
+FP32 = Precision(name="fp32", itemsize=4.0, mantissa_bits=23)
+FP21 = Precision(name="fp21", itemsize=21.0 / 8.0, mantissa_bits=12)
+
+#: Registry of the supported storage policies, by name.
+PRECISIONS: dict[str, Precision] = {p.name: p for p in (FP64, FP32, FP21)}
+
+
+def as_precision(spec: "Precision | str | None") -> Precision:
+    """Resolve a policy from a :class:`Precision`, a name, or ``None``
+    (the fp64 default).  Unknown names fail loudly — a typo'd precision
+    must not silently model fp64 bytes."""
+    if spec is None:
+        return FP64
+    if isinstance(spec, Precision):
+        return spec
+    try:
+        return PRECISIONS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision {spec!r}; choose from {sorted(PRECISIONS)}"
+        ) from None

@@ -4,10 +4,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import vector_traffic
 from repro.util import counters
 
 __all__ = ["BlockJacobi"]
+
+#: Determinant magnitude below which a 3x3 diagonal block is treated as
+#: singular (a zero block from a fully-constrained node, or a block so
+#: ill-scaled its inverse would be garbage).
+SINGULAR_DET_GUARD = 1e-300
 
 
 class BlockJacobi:
@@ -15,23 +21,31 @@ class BlockJacobi:
 
     Construction inverts all blocks at once (batched
     ``numpy.linalg.inv``); application is a batched 3x3 mat-vec.
+    ``precision`` stores the block inverses in the transprecision
+    format (quantized once here, traffic charged at its itemsize).
     """
 
-    def __init__(self, diag_blocks: np.ndarray, tag: str = "cg.precond") -> None:
+    def __init__(
+        self,
+        diag_blocks: np.ndarray,
+        tag: str = "cg.precond",
+        precision: Precision | str | None = None,
+    ) -> None:
         blocks = np.asarray(diag_blocks, dtype=float)
         if blocks.ndim != 3 or blocks.shape[1:] != (3, 3):
             raise ValueError("expected (nb, 3, 3) diagonal blocks")
         # Guard: a zero block (fully-constrained node) would be singular.
         dets = np.linalg.det(blocks)
-        if np.any(np.abs(dets) < 1e-300):
+        if np.any(np.abs(dets) < SINGULAR_DET_GUARD):
             raise ValueError("singular diagonal block; constrain dofs first")
-        self._inv = np.linalg.inv(blocks)
+        self.precision = as_precision(precision)
+        self._inv = self.precision.quantize_(np.linalg.inv(blocks))
         self.tag = tag
 
     @classmethod
-    def from_matrix(cls, A) -> "BlockJacobi":
+    def from_matrix(cls, A, precision: Precision | str | None = None) -> "BlockJacobi":
         """Build from anything exposing ``diagonal_blocks()``."""
-        return cls(A.diagonal_blocks())
+        return cls(A.diagonal_blocks(), precision=precision)
 
     @property
     def n(self) -> int:
@@ -48,7 +62,8 @@ class BlockJacobi:
         R = r[:, None] if single else r
         nb = self._inv.shape[0]
         n_rhs = R.shape[1]
-        w = vector_traffic(self.n, n_reads=2, n_writes=1, flops_per_entry=6.0)
+        w = vector_traffic(self.n, n_reads=2, n_writes=1, flops_per_entry=6.0,
+                           value_bytes=self.precision.itemsize)
         counters.charge(self.tag, w.flops * n_rhs, w.bytes * n_rhs)
         if (
             out is not None

@@ -5,18 +5,28 @@ through main memory — not what the NumPy reference implementation
 happens to allocate.  They drive the hardware roofline model that
 regenerates the paper's Table 2.
 
-Conventions (all fp64, 4-byte indices):
+Conventions (4-byte indices, ``value_bytes`` per stored value):
 
-* block-CRS SpMV: each 3x3 block is read once (72 B) with its column
-  index (4 B); the source and destination vectors stream once
-  (16 B/scalar dof).  flops = 18 per block.
+* Floating point *values* — matrix blocks, solver vectors, the
+  preconditioner — are charged at ``value_bytes`` each (default 8.0,
+  fp64).  Transprecision storage (:mod:`repro.sparse.precision`) passes
+  the policy's itemsize here (4.0 for fp32, 21/8 for fp21), which is
+  how the FP32/FP21 byte savings reach the roofline: flops are
+  unchanged, bytes shrink with the word, so the bandwidth-bound kernels
+  speed up proportionally.
+* Structural data is precision-independent: column/connectivity indices
+  are 4-byte integers, nodal coordinates (24 B/node) and material
+  parameters (16 B/element) keep their native widths.
+* block-CRS SpMV: each 3x3 block is read once (9 values + a 4 B column
+  index); the source and destination vectors stream once
+  (2 values/scalar dof).  flops = 18 per block.
 * EBE SpMV (Eq. 8): matrix-free.  Per element: connectivity (40 B) and
   material (16 B) are read and the element matrix is *recomputed*
   (:data:`EBE_CONSTRUCTION_FLOPS` flops); nodal coordinates and the
   gathered/scattered vectors are counted at perfect-cache unique
   traffic (each node read once per sweep).  Per right-hand side:
   the 30x30 mat-vec costs 1800 flops/element, and x/y move
-  48 B/node.  Fusing r right-hand sides (Eq. 9) amortizes every
+  6 values/node.  Fusing r right-hand sides (Eq. 9) amortizes every
   per-element term over r — the paper's "block random access is
   reduced to 1/r".
 """
@@ -34,7 +44,6 @@ __all__ = ["KernelWork", "crs_traffic", "ebe_traffic", "vector_traffic",
 #: paper's measured 43 GFLOP per 11.4M-element sweep (Table 2).
 EBE_CONSTRUCTION_FLOPS: float = 1900.0
 
-_BLOCK_BYTES = 9 * 8 + 4  # one 3x3 fp64 block + column index
 _IDX_BYTES = 4
 
 
@@ -51,26 +60,38 @@ class KernelWork:
         return self.flops / self.bytes if self.bytes else float("inf")
 
 
-def crs_traffic(nnzb: int, n_block_rows: int, n_rhs: int = 1) -> KernelWork:
+def crs_traffic(
+    nnzb: int,
+    n_block_rows: int,
+    n_rhs: int = 1,
+    value_bytes: float = 8.0,
+) -> KernelWork:
     """Per-case work of a 3x3 block-CRS SpMV.
 
     ``nnzb`` is the number of stored 3x3 blocks, ``n_block_rows`` the
     number of block rows (= nodes).  With multiple right-hand sides the
     matrix is re-streamed per case (no fusion benefit in the CRS
     baseline; this matches the paper's use of CRS for r = 1 only).
+    ``value_bytes`` is the storage width of matrix blocks and vectors.
     """
     flops = 18.0 * nnzb
     bytes_ = (
-        _BLOCK_BYTES * nnzb
+        (9 * value_bytes + _IDX_BYTES) * nnzb  # blocks + column indices
         + _IDX_BYTES * (n_block_rows + 1)
-        + 16.0 * 3 * n_block_rows  # stream x once, write y once
+        + 2 * value_bytes * 3 * n_block_rows  # stream x once, write y once
     )
     return KernelWork(flops=flops, bytes=bytes_)
 
 
-def ebe_traffic(n_elems: int, n_nodes: int, n_rhs: int = 1) -> KernelWork:
+def ebe_traffic(
+    n_elems: int,
+    n_nodes: int,
+    n_rhs: int = 1,
+    value_bytes: float = 8.0,
+) -> KernelWork:
     """Per-case work of the matrix-free EBE SpMV with ``n_rhs`` fused
-    right-hand sides (Eq. 8 for r=1, Eq. 9 for r>1)."""
+    right-hand sides (Eq. 8 for r=1, Eq. 9 for r>1).  ``value_bytes``
+    is the storage width of the gathered/scattered case vectors."""
     if n_rhs < 1:
         raise ValueError("n_rhs must be >= 1")
     per_elem_fixed_bytes = 40.0 + 16.0  # connectivity + material
@@ -82,14 +103,20 @@ def ebe_traffic(n_elems: int, n_nodes: int, n_rhs: int = 1) -> KernelWork:
     per_case_flops = (1800.0 + EBE_CONSTRUCTION_FLOPS) * n_elems
     per_case_bytes = (
         (per_elem_fixed_bytes * n_elems + per_node_fixed_bytes * n_nodes) / n_rhs
-        + 48.0 * n_nodes  # gather x + scatter y at unique traffic
+        + 2 * value_bytes * 3 * n_nodes  # gather x + scatter y at unique traffic
     )
     return KernelWork(flops=per_case_flops, bytes=per_case_bytes)
 
 
-def vector_traffic(n: int, n_reads: int, n_writes: int, flops_per_entry: float) -> KernelWork:
+def vector_traffic(
+    n: int,
+    n_reads: int,
+    n_writes: int,
+    flops_per_entry: float,
+    value_bytes: float = 8.0,
+) -> KernelWork:
     """Work of a streaming vector kernel (axpy, dot, preconditioner...)."""
     return KernelWork(
         flops=flops_per_entry * n,
-        bytes=8.0 * n * (n_reads + n_writes),
+        bytes=value_bytes * n * (n_reads + n_writes),
     )

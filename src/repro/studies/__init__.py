@@ -10,6 +10,9 @@
   subdomain split, history length) buys in solver iterations.
 * :mod:`~repro.studies.weakscaling` — weak/strong-scaling sweeps over
   the distributed part-local solver, one campaign cell per part count.
+* :mod:`~repro.studies.transprecision` — accuracy-vs-speed sweeps over
+  the FP64/FP32/FP21 storage policies, one campaign cell per
+  precision (achieved residual, iteration inflation, modeled speedup).
 
 Both sweeps are also expressible as *campaigns* (see
 :mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
@@ -39,6 +42,13 @@ from repro.studies.weakscaling import (
     scaling_cells,
     scaling_table,
 )
+from repro.studies.transprecision import (
+    TransprecisionPoint,
+    modeled_solver_bytes_per_iteration,
+    run_transprecision_campaign,
+    transprecision_cells,
+    transprecision_table,
+)
 
 __all__ = [
     "StepProfile",
@@ -57,4 +67,9 @@ __all__ = [
     "scaling_cells",
     "run_scaling_campaign",
     "scaling_table",
+    "TransprecisionPoint",
+    "transprecision_cells",
+    "run_transprecision_campaign",
+    "transprecision_table",
+    "modeled_solver_bytes_per_iteration",
 ]

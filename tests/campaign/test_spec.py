@@ -181,3 +181,58 @@ def test_cell_label_and_kind():
     assert isinstance(c, CampaignCell)
     assert c.kind == "method"
     assert "stratified" in c.label
+
+
+def test_precision_axis_expands_cells():
+    spec = make_spec(models=("stratified",),
+                     precision=("fp64", "fp32", "fp21"))
+    cells = spec.cells()
+    assert spec.n_cells == 1 * 2 * 1 * 1 * 3 == len(cells)
+    assert len({c.key for c in cells}) == len(cells)
+    labels = [c.label for c in cells if c.params.get("precision")]
+    assert all(label.endswith(("/fp32", "/fp21")) for label in labels)
+
+
+def test_precision_fp64_keeps_pre_axis_cell_hash():
+    """Adding the precision axis must not invalidate cached fp64
+    cells: fp64 leaves the cell params (and hash) untouched."""
+    base = make_spec(models=("stratified",))
+    grown = make_spec(models=("stratified",),
+                      precision=("fp64", "fp21"))
+    base_keys = {c.label: c.key for c in base.cells()}
+    for cell in grown.cells():
+        if "precision" not in cell.params:
+            assert cell.key == base_keys[cell.label]
+        else:
+            assert cell.key not in base_keys.values()
+    # the scenario seed is precision-independent: every precision
+    # solves identical physics
+    seeds = {c.params["seed"] for c in grown.cells()}
+    assert len(seeds) == len(base.cells())
+
+
+def test_precision_axis_composes_with_nparts():
+    spec = make_spec(models=("stratified",), methods=("ebe-mcg@cpu-gpu",),
+                     nparts=(1, 2), precision=("fp64", "fp21"))
+    cells = spec.cells()
+    assert spec.n_cells == 2 * 2 * 2 == len(cells)  # waves x nparts x prec
+    combos = {(c.params.get("nparts", 1), c.params.get("precision", "fp64"))
+              for c in cells}
+    assert combos == {(1, "fp64"), (1, "fp21"), (2, "fp64"), (2, "fp21")}
+
+
+def test_precision_validation():
+    with pytest.raises(ValueError, match="unknown precision"):
+        make_spec(precision=("fp64", "fp8"))
+    with pytest.raises(ValueError):
+        make_spec(precision=())
+    with pytest.raises(ValueError, match="duplicate"):
+        make_spec(precision=("fp21", "fp21"))
+
+
+def test_precision_roundtrips_through_json(tmp_path):
+    spec = make_spec(models=("stratified",), precision=("fp64", "fp21"))
+    path = spec.to_json(tmp_path / "spec.json")
+    again = CampaignSpec.from_json(path)
+    assert again.precision == ("fp64", "fp21")
+    assert [c.key for c in again.cells()] == [c.key for c in spec.cells()]

@@ -11,7 +11,7 @@ from repro.core.methods import (
     estimate_memory,
     run_method,
 )
-from repro.hardware.specs import ALPS_MODULE, SINGLE_GH200
+from repro.hardware.specs import ALPS_MODULE
 
 
 # ------------------------------------------------- CPU share derating
@@ -206,3 +206,113 @@ def test_summary_keys(runs):
         "gpu_memory_GB",
     ):
         assert key in s
+
+
+# ------------------------------------------------- transprecision axis
+def test_run_method_fp64_precision_bit_identical(ground_problem, runs):
+    """precision='fp64' is a no-op: same records, summaries and final
+    states as the precision-unaware driver."""
+    forces = [
+        BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=i, amplitude=1e6)
+        for i in range(4)
+    ]
+    again = run_method(
+        ground_problem, forces, nt=10, method="ebe-mcg@cpu-gpu",
+        s_range=(2, 8), precision="fp64",
+    )
+    ref = runs["ebe-mcg@cpu-gpu"]
+    assert again.summary((3, 10)) == ref.summary((3, 10))
+    for a, b in zip(again.final_states, ref.final_states):
+        assert np.array_equal(a.u, b.u)
+
+
+@pytest.mark.parametrize("precision", ["fp32", "fp21"])
+def test_run_method_reduced_precision_safe_and_faster(
+    ground_problem, runs, precision
+):
+    """The acceptance contract at the driver level: eps still reached,
+    iteration inflation <= 1.5x, modeled step time no slower."""
+    forces = [
+        BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=i, amplitude=1e6)
+        for i in range(4)
+    ]
+    res = run_method(
+        ground_problem, forces, nt=10, method="ebe-mcg@cpu-gpu",
+        s_range=(2, 8), precision=precision,
+    )
+    ref = runs["ebe-mcg@cpu-gpu"]
+    w = (3, 10)
+    assert res.achieved_relres(w) < 1e-8
+    assert res.iterations_per_step(w) <= 1.5 * ref.iterations_per_step(w)
+    assert res.elapsed_per_step_per_case(w) <= ref.elapsed_per_step_per_case(w)
+
+
+def test_run_method_precision_on_baseline(ground_problem):
+    """Baseline methods take the axis too (CRS blocks in fp21)."""
+    f = [BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=3, amplitude=1e6)]
+    res = run_method(ground_problem, f, nt=4, method="crs-cg@gpu", precision="fp21")
+    assert res.achieved_relres() < 1e-8
+    assert res.records
+
+
+def test_run_method_unknown_precision_rejected(ground_problem):
+    f = [lambda it: np.zeros(ground_problem.n_dofs)]
+    with pytest.raises(ValueError, match="unknown precision"):
+        run_method(ground_problem, f, nt=1, method="crs-cg@cpu", precision="fp8")
+
+
+# --------------------------------------------- per-part memory estimates
+def test_memory_estimate_precision_itemsizes(ground_problem):
+    """Narrower storage shrinks both matrix and vector footprints, but
+    never below the fp64-resident state/history share."""
+    g = {
+        p: estimate_memory(ground_problem, "ebe-mcg@cpu-gpu", 8, precision=p)
+        for p in ("fp64", "fp32", "fp21")
+    }
+    assert g["fp64"][1] > g["fp32"][1] > g["fp21"][1]
+    # x, b and the Newmark state stay fp64: 6 of 10 vectors
+    assert g["fp21"][1] > 0.6 * g["fp64"][1] - 1.0
+    c = {
+        p: estimate_memory(ground_problem, "crs-cg@gpu", 2, precision=p)
+        for p in ("fp64", "fp21")
+    }
+    assert c["fp21"][1] < c["fp64"][1]
+
+
+def test_memory_estimate_per_part_bottleneck(ground_problem):
+    """nparts > 1 reports the bottleneck part's footprint (ghost
+    vectors included): below the fused total, above the ideal 1/nparts
+    share of it."""
+    fused_cpu, fused_gpu = estimate_memory(ground_problem, "ebe-mcg@cpu-gpu", 8)
+    for nparts in (2, 4):
+        cpu_p, gpu_p = estimate_memory(
+            ground_problem, "ebe-mcg@cpu-gpu", 8, nparts=nparts
+        )
+        assert gpu_p < fused_gpu
+        assert gpu_p > fused_gpu / nparts  # ghosts + staging overhead
+        assert cpu_p < fused_cpu
+        assert cpu_p > fused_cpu / nparts
+
+
+def test_memory_estimate_per_part_matches_run_method(ground_problem):
+    """run_method(nparts=4) reports the per-part footprint."""
+    forces = [
+        BandlimitedImpulse.random(ground_problem.mesh, ground_problem.dt, rng=70 + i, amplitude=1e6)
+        for i in range(4)
+    ]
+    res = run_method(
+        ground_problem, forces, nt=2, method="ebe-mcg@cpu-gpu",
+        s_range=(2, 8), nparts=4,
+    )
+    cpu_p, gpu_p = estimate_memory(
+        ground_problem, "ebe-mcg@cpu-gpu", 4, s_max=8, nparts=4
+    )
+    assert res.gpu_memory_bytes == pytest.approx(gpu_p)
+    assert res.cpu_memory_bytes == pytest.approx(cpu_p)
+
+
+def test_memory_estimate_per_part_rejected_for_baselines(ground_problem):
+    with pytest.raises(ValueError):
+        estimate_memory(ground_problem, "crs-cg@gpu", 2, nparts=2)
+    with pytest.raises(ValueError):
+        estimate_memory(ground_problem, "ebe-mcg@cpu-gpu", 2, nparts=0)

@@ -128,3 +128,49 @@ def test_run_method_rejects_unpartitionable(ground_problem):
     with pytest.raises(ValueError):
         run_method(ground_problem, forces, nt=1, method="ebe-mcg@cpu-gpu",
                    nparts=0)
+
+
+def test_partitioned_precision_halo_and_solve(ground_problem):
+    """A fp21 partitioned set builds a fp21-storage operator, charges
+    storage-width halo bytes, and still solves to eps."""
+    from repro.sparse.precision import FP21
+
+    cs = PartitionedCaseSet(
+        ground_problem, forces=make_forces(ground_problem, 2, seed0=4),
+        predictors=make_predictors(ground_problem, 2),
+        op_kind="ebe", eps=1e-8, nparts=4, precision="fp21",
+    )
+    assert cs.dist.precision is FP21
+    ref = PartitionedCaseSet(
+        ground_problem, forces=make_forces(ground_problem, 2, seed0=4),
+        predictors=make_predictors(ground_problem, 2),
+        op_kind="ebe", eps=1e-8, nparts=4,
+    )
+    assert cs.dist.comm_bytes_per_matvec == pytest.approx(
+        ref.dist.comm_bytes_per_matvec * 21.0 / 64.0
+    )
+    g, _ = cs.predict(1)
+    res, _ = cs.solve(1, g)
+    assert bool(res.converged.all())
+    assert float(res.final_relres.max()) < 1e-8
+    # the modeled nic seconds shrink with the wire word
+    g2, _ = ref.predict(1)
+    res2, _ = ref.solve(1, g2)
+    if res.loop_iterations == res2.loop_iterations:
+        assert cs.comm_time(res) < ref.comm_time(res2)
+
+
+def test_shared_dist_precision_mismatch_rejected(ground_problem):
+    from repro.cluster.halo import DistributedEBE
+    from repro.cluster.partition import PartitionInfo, partition_elements
+
+    info = PartitionInfo(
+        ground_problem.mesh, partition_elements(ground_problem.mesh, 2)
+    )
+    dist64 = DistributedEBE.from_elements(ground_problem.Ae, info)
+    with pytest.raises(ValueError, match="precision"):
+        PartitionedCaseSet(
+            ground_problem, forces=make_forces(ground_problem, 2),
+            predictors=make_predictors(ground_problem, 2),
+            op_kind="ebe", nparts=2, precision="fp21", dist=dist64,
+        )

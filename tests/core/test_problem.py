@@ -1,7 +1,6 @@
 """ElasticProblem container consistency."""
 
 import numpy as np
-import pytest
 
 from repro.core.problem import build_problem
 from repro.fem.newmark import NewmarkState

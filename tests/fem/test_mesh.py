@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fem.mesh import Tet10Mesh, box_tet4, promote_to_tet10, structured_box
+from repro.fem.mesh import Tet10Mesh, box_tet4, structured_box
 
 
 def test_box_tet4_counts():

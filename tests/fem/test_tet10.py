@@ -1,7 +1,6 @@
 """Shape-function identities for TET10 and TRI6."""
 
 import numpy as np
-import pytest
 
 from repro.fem.quadrature import tet_rule, tri_rule
 from repro.fem.tet10 import TET10_EDGES, TRI6_EDGES, tet10_shape, tri6_shape

@@ -63,3 +63,21 @@ def test_diagonal_blocks(matrix):
 def test_rejects_non_sparse():
     with pytest.raises(TypeError):
         BlockCRS(np.eye(6))
+
+
+def test_reduced_precision_never_mutates_caller_matrix():
+    """tobsr() aliases an already-3x3-blocked input: quantization must
+    act on a private copy, never the caller's (possibly shared) data."""
+    import scipy.sparse as sp
+
+    from repro.sparse.bcrs import BlockCRS
+
+    rng = np.random.default_rng(8)
+    dense = rng.standard_normal((12, 12))
+    bsr = sp.bsr_matrix(dense + dense.T + 12 * np.eye(12), blocksize=(3, 3))
+    before = bsr.data.copy()
+    a64 = BlockCRS(bsr)
+    a21 = BlockCRS(bsr, precision="fp21")
+    assert np.array_equal(bsr.data, before)  # caller untouched
+    assert np.array_equal(a64.bsr.data, before)  # fp64 twin untouched
+    assert not np.array_equal(a21.bsr.data, before)

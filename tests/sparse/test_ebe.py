@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fem.assembly import assemble_bsr
-from repro.sparse.bcrs import BlockCRS
 from repro.sparse.ebe import EBEOperator
 from repro.util.counters import tally_scope
 

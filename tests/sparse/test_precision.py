@@ -1,0 +1,132 @@
+"""Transprecision storage policies: registry and quantization laws.
+
+The fp21 emulation (fp64 mantissa truncated to 12 bits) must be a
+genuine store operator: monotone, within 2^-12 relative error, and
+idempotent — properties the solver's convergence argument leans on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sparse.precision import (
+    FP21,
+    FP32,
+    FP64,
+    PRECISIONS,
+    Precision,
+    as_precision,
+)
+
+#: Magnitudes inside FP21's fp32-derived exponent range (the regime the
+#: emulation models; see the module docstring on range clipping).
+_magnitudes = st.floats(min_value=2.0**-126, max_value=2.0**127,
+                        allow_nan=False, allow_infinity=False)
+_signed = st.builds(lambda m, s: m * s, _magnitudes, st.sampled_from([-1.0, 1.0]))
+
+
+# ------------------------------------------------------------ registry
+def test_registry_and_resolution():
+    assert as_precision(None) is FP64
+    assert as_precision("fp64") is FP64
+    assert as_precision("fp32") is FP32
+    assert as_precision("fp21") is FP21
+    assert as_precision(FP21) is FP21
+    assert set(PRECISIONS) == {"fp64", "fp32", "fp21"}
+
+
+def test_unknown_precision_rejected():
+    with pytest.raises(ValueError, match="unknown precision"):
+        as_precision("fp16")
+
+
+def test_itemsizes():
+    assert FP64.itemsize == 8.0
+    assert FP32.itemsize == 4.0
+    assert FP21.itemsize == pytest.approx(21.0 / 8.0)
+    assert FP21.storage_ratio == pytest.approx(21.0 / 64.0)
+    assert FP64.is_fp64 and not FP32.is_fp64 and not FP21.is_fp64
+
+
+def test_fp64_quantize_is_identity_no_copy():
+    a = np.random.default_rng(0).standard_normal((7, 3))
+    before = a.copy()
+    assert FP64.quantize_(a) is a
+    assert np.array_equal(a, before)
+
+
+def test_quantize_copy_leaves_input_untouched():
+    a = np.random.default_rng(1).standard_normal(100)
+    before = a.copy()
+    q = FP21.quantize(a)
+    assert np.array_equal(a, before)
+    assert not np.array_equal(q, a)  # something must actually round
+
+
+def test_quantize_inplace_noncontiguous_column():
+    """Per-part solver blocks hand strided views to quantize_."""
+    a = np.random.default_rng(2).standard_normal((50, 4))
+    col = a[:, 1]
+    FP21.quantize_(col)
+    assert np.array_equal(a[:, 1], FP21.quantize(col))
+
+
+# ------------------------------------------- fp21 quantization laws
+@given(_signed)
+def test_fp21_relative_error_within_2_pow_minus_12(x):
+    q = float(FP21.quantize(np.array([x]))[0])
+    assert abs(q - x) <= 2.0**-12 * abs(x)
+
+
+@given(_signed)
+def test_fp21_truncates_toward_zero(x):
+    q = float(FP21.quantize(np.array([x]))[0])
+    assert abs(q) <= abs(x)
+    assert np.sign(q) == np.sign(x)
+
+
+@given(_signed, _signed)
+def test_fp21_monotone(x, y):
+    lo, hi = sorted((x, y))
+    qlo, qhi = FP21.quantize(np.array([lo, hi]))
+    assert qlo <= qhi
+
+
+@given(_signed)
+def test_fp21_idempotent(x):
+    q1 = FP21.quantize(np.array([x]))
+    q2 = FP21.quantize(q1)
+    assert np.array_equal(q1, q2)
+
+
+@given(_signed)
+def test_fp32_truncation_error(x):
+    q = float(FP32.quantize(np.array([x]))[0])
+    assert abs(q - x) <= 2.0**-23 * abs(x)
+    assert abs(q) <= abs(x)  # truncation moves toward zero
+    # q is exactly representable in fp32 (round-tripping is lossless)
+    assert np.float64(np.float32(q)) == q
+
+
+def test_quantize_preserves_zero():
+    for prec in PRECISIONS.values():
+        assert prec.quantize(np.array([0.0, -0.0])).tolist() == [0.0, -0.0]
+
+
+def test_fp21_mantissa_bits():
+    """Exactly 12 stored mantissa bits: 1 + 2^-12 survives, the next
+    finer step does not."""
+    x = 1.0 + 2.0**-12
+    assert float(FP21.quantize(np.array([x]))[0]) == x
+    y = 1.0 + 2.0**-13
+    assert float(FP21.quantize(np.array([y]))[0]) == 1.0
+
+
+def test_precision_is_frozen():
+    with pytest.raises(AttributeError):
+        FP21.itemsize = 1.0
+
+
+def test_precision_equality_by_content():
+    assert Precision("fp21", 21.0 / 8.0, 12) == FP21

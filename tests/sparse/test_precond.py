@@ -49,3 +49,50 @@ def test_matmul_alias():
     B = BlockJacobi(np.tile(2 * np.eye(3), (2, 1, 1)))
     r = np.ones(6)
     np.testing.assert_allclose(B @ r, 0.5 * r)
+
+
+def test_near_singular_guard_boundary():
+    """The singularity guard trips exactly at SINGULAR_DET_GUARD:
+    det just below rejects, det just above inverts."""
+    from repro.sparse.precond import SINGULAR_DET_GUARD
+
+    assert SINGULAR_DET_GUARD == 1e-300
+
+    def scaled(c):
+        blocks = np.tile(np.eye(3), (2, 1, 1))
+        blocks[1] *= c  # det = c^3
+        return blocks
+
+    # det = 1e-303 < guard -> rejected
+    with pytest.raises(ValueError, match="singular"):
+        BlockJacobi(scaled(1e-101))
+    # det = 1e-297 > guard -> accepted, inverse is finite
+    B = BlockJacobi(scaled(1e-99))
+    assert np.all(np.isfinite(B._inv))
+
+
+def test_negative_determinant_magnitude_guard():
+    """The guard compares |det|: a well-conditioned negative-det block
+    passes, a tiny negative det fails."""
+    blocks = np.tile(-np.eye(3), (1, 1, 1))  # det = -1
+    BlockJacobi(blocks)
+    with pytest.raises(ValueError):
+        BlockJacobi(1e-101 * blocks)  # |det| = 1e-303
+
+
+def test_precision_quantizes_inverses_and_traffic():
+    from repro.sparse.precision import FP21
+    from repro.util.counters import tally_scope
+
+    rng = np.random.default_rng(5)
+    blocks = rng.standard_normal((6, 3, 3)) + 4 * np.eye(3)
+    m64 = BlockJacobi(blocks)
+    m21 = BlockJacobi(blocks, precision="fp21")
+    assert np.array_equal(m21._inv, FP21.quantize(m64._inv))
+    r = rng.standard_normal(18)
+    with tally_scope() as t64:
+        m64.apply(r)
+    with tally_scope() as t21:
+        m21.apply(r)
+    assert t21.total_bytes() == pytest.approx(t64.total_bytes() * 21.0 / 64.0)
+    assert t21.total_flops() == t64.total_flops()

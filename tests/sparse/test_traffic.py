@@ -56,3 +56,44 @@ def test_intensity_infinite_when_no_bytes():
     from repro.sparse.traffic import KernelWork
 
     assert KernelWork(flops=10.0, bytes=0.0).intensity == float("inf")
+
+
+def test_crs_value_bytes_scaling():
+    """Transprecision storage shrinks value traffic, not index traffic."""
+    w64 = crs_traffic(nnzb=100, n_block_rows=10)
+    w32 = crs_traffic(nnzb=100, n_block_rows=10, value_bytes=4.0)
+    w21 = crs_traffic(nnzb=100, n_block_rows=10, value_bytes=21.0 / 8.0)
+    assert w32.flops == w21.flops == w64.flops  # flops never change
+    # values at half width: blocks 36 B + idx 4 B, vectors 8 B/dof
+    assert w32.bytes == (36 + 4) * 100 + 4 * 11 + 8 * 30
+    assert w64.bytes > w32.bytes > w21.bytes
+    # index traffic is the irreducible floor
+    assert w21.bytes > 4 * 100 + 4 * 11
+
+
+def test_ebe_value_bytes_scaling():
+    w64 = ebe_traffic(n_elems=1000, n_nodes=1500, n_rhs=4)
+    w21 = ebe_traffic(n_elems=1000, n_nodes=1500, n_rhs=4,
+                      value_bytes=21.0 / 8.0)
+    assert w21.flops == w64.flops
+    # only the 48 B/node gather/scatter term shrinks (to 15.75 B/node)
+    fixed = (56.0 * 1000 + 24.0 * 1500) / 4
+    assert w64.bytes == pytest.approx(fixed + 48.0 * 1500)
+    assert w21.bytes == pytest.approx(fixed + 15.75 * 1500)
+
+
+def test_ebe_fp21_meets_traffic_acceptance():
+    """At the paper's element/node ratio, fused fp21 EBE traffic is
+    <= 0.55x of fp64 — the transprecision acceptance bound."""
+    n_nodes = 15_509_903
+    n_elems = 11_365_697
+    w64 = ebe_traffic(n_elems, n_nodes, n_rhs=4)
+    w21 = ebe_traffic(n_elems, n_nodes, n_rhs=4, value_bytes=21.0 / 8.0)
+    assert w21.bytes / w64.bytes <= 0.55
+
+
+def test_vector_value_bytes_scaling():
+    w = vector_traffic(1000, n_reads=2, n_writes=1, flops_per_entry=2.0,
+                       value_bytes=21.0 / 8.0)
+    assert w.flops == 2000
+    assert w.bytes == pytest.approx(21.0 / 8.0 * 1000 * 3)

@@ -1,6 +1,5 @@
 """Architectural sensitivity study."""
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import bench_forces  # reuse the tuned forcing

@@ -199,3 +199,41 @@ def test_campaign_nparts_rejected_for_unpartitionable(tmp_path):
     with pytest.raises(SystemExit):
         main(["campaign", "--methods", "crs-cg@gpu", "--nparts", "1,2",
               "--store", str(tmp_path)])
+
+
+def test_run_command_precision(capsys):
+    rc = main([
+        "run", "--model", "stratified", "--resolution", "2,2,1",
+        "--method", "ebe-mcg@cpu-gpu", "--cases", "2", "--steps", "4",
+        "--s-min", "2", "--s-max", "4", "--precision", "fp21",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "achieved_relres" in out
+
+
+def test_run_command_bad_precision_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--model", "stratified", "--resolution", "2,2,1",
+              "--precision", "fp8"])
+
+
+def test_campaign_precision_axis(capsys, tmp_path):
+    rc = main([
+        "campaign", "--models", "stratified", "--waves", "1",
+        "--methods", "ebe-mcg@cpu-gpu", "--resolutions", "2,2,1",
+        "--cases", "2", "--steps", "4", "--precision", "fp64,fp21",
+        "--store", str(tmp_path / "store"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "precision fp64,fp21" in out
+    assert "transprecision summary" in out
+    assert "ebe-mcg@cpu-gpu@fp21" in out
+
+
+def test_campaign_bad_precision_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="bad campaign grid"):
+        main(["campaign", "--models", "stratified", "--waves", "1",
+              "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
+              "--precision", "fp64,fp7", "--no-store"])

@@ -4,7 +4,7 @@ at miniature scale."""
 import numpy as np
 import pytest
 
-from repro import build_ground_problem, run_method, stratified_model
+from repro import run_method
 from repro.analysis import BandlimitedImpulse, dominant_frequencies
 from repro.analysis.metrics import rel_l2
 from repro.cluster import DistributedEBE, PartitionInfo, partition_elements
