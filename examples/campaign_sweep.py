@@ -1,6 +1,7 @@
 """End-to-end campaign example: 3 ground models x 2 input waves x
 2 methods, executed through the cached, parallel campaign engine —
-plus a distributed weak-scaling sweep over the part-local solver.
+plus a distributed weak-scaling sweep over the part-local solver and
+a cross-scenario difficulty sweep over the workload registry.
 
 Run from the repository root::
 
@@ -25,6 +26,14 @@ and (the distributed nparts axis as an ordinary campaign grid)::
         --models stratified --waves 1 --methods ebe-mcg@cpu-gpu \
         --resolutions 3,3,2 --nparts 1,2,4 --module alps \
         --store campaign-results/example-nparts
+
+and (the workload scenario axis)::
+
+    python -m repro campaign \
+        --models stratified --waves 1 --methods ebe-mcg@cpu-gpu \
+        --resolutions 3,3,2 --steps 18 \
+        --scenario impulse,layered-basin,fault-rupture,soft-soil,aftershocks \
+        --store campaign-results/example-scenarios
 """
 
 from repro.campaign import (
@@ -32,6 +41,12 @@ from repro.campaign import (
     CampaignSpec,
     ResultStore,
     default_waves,
+)
+from repro.studies.scenarios import (
+    render_scenario_table,
+    run_scenario_campaign,
+    scenario_cells,
+    scenario_table,
 )
 from repro.studies.weakscaling import (
     run_scaling_campaign,
@@ -82,6 +97,21 @@ def main() -> None:
               f"t/step {pt.elapsed_per_step:.3e} s  "
               f"halo {pt.halo_per_step:.3e} s  "
               f"efficiency {pt.efficiency:5.3f}")
+
+    # -- workload axis: how hard is each registered scenario? ---------
+    # One cached cell per scenario (same model/wave/method/seed, so
+    # the scenario is the only thing varying); the fast wave family
+    # (f0_factor=1) compresses the source timeline so 18 steps put the
+    # second aftershock — and its predictor re-bootstrap — in-window.
+    from repro.campaign import WaveSpec
+
+    sc_outcomes = run_scenario_campaign(
+        scenario_cells(wave=WaveSpec(name="w0", f0_factor=1.0),
+                       resolution=(3, 3, 2), steps=18, s_range=(2, 8)),
+        store=ResultStore("campaign-results/example-scenarios"),
+    )
+    print()
+    print(render_scenario_table(scenario_table(sc_outcomes)))
 
 
 if __name__ == "__main__":

@@ -32,6 +32,13 @@ over a process pool)::
                             jobs=4).run(spec)
     print(report.render())   # per-method + per-scenario tables
 
+Workloads themselves are pluggable: ``CampaignSpec(scenarios=(...))``
+fans the grid over registered scenarios — distinct ground-structure x
+source-process bundles (``repro.workloads.scenario``; the library
+ships ``impulse``, ``layered-basin``, ``fault-rupture``, ``soft-soil``
+and ``aftershocks``) — and third-party scenarios plug in through
+``@register_scenario``.
+
 A second ``run`` of the same spec is pure cache hits: every cell is
 keyed by a content hash of its parameters, and per-cell RNG seeds are
 content-derived, so results never depend on grid shape or worker
@@ -47,8 +54,13 @@ from repro.core import ElasticProblem, RunResult, build_problem, run_method
 from repro.core.methods import METHODS
 from repro.workloads import (
     GROUND_MODELS,
+    SCENARIOS,
+    Scenario,
     basin_model,
     build_ground_problem,
+    register_scenario,
+    scenario_by_name,
+    scenario_names,
     slanted_model,
     stratified_model,
 )
@@ -62,6 +74,11 @@ __all__ = [
     "run_method",
     "METHODS",
     "GROUND_MODELS",
+    "SCENARIOS",
+    "Scenario",
+    "register_scenario",
+    "scenario_by_name",
+    "scenario_names",
     "stratified_model",
     "basin_model",
     "slanted_model",

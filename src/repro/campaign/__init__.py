@@ -28,10 +28,21 @@ scenario seed is nparts-independent, so scaling sweeps compare
 identical physics.  Weak/strong-scaling helpers live in
 :mod:`repro.studies.weakscaling`.
 
+Scenario axis
+-------------
+``CampaignSpec(scenarios=("impulse", "fault-rupture", ...))`` fans
+every cell over registered workload scenarios
+(:mod:`repro.workloads.scenario` — distinct ground-structure x
+source-process bundles).  Default-scenario cells keep their pre-axis
+content hash, and the cell seed is scenario-independent, so scenario
+sweeps compare identical random draws.  Cross-scenario difficulty
+helpers live in :mod:`repro.studies.scenarios`.
+
 CLI: ``python -m repro campaign --models stratified,basin,slanted
 --waves 2 --methods crs-cg@gpu,ebe-mcg@cpu-gpu --jobs 2``
 (add ``--nparts 1,2,4`` with ``--methods ebe-mcg@cpu-gpu`` for the
-distributed axis).
+distributed axis, ``--scenario impulse,aftershocks`` for the workload
+axis).
 """
 
 from repro.campaign.aggregate import CampaignReport, format_table
@@ -42,6 +53,7 @@ from repro.campaign.runner import (
     register_executor,
 )
 from repro.campaign.spec import (
+    DEFAULT_SCENARIO,
     CampaignCell,
     CampaignSpec,
     WaveSpec,
@@ -52,6 +64,7 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore
 
 __all__ = [
+    "DEFAULT_SCENARIO",
     "CampaignSpec",
     "CampaignCell",
     "WaveSpec",

@@ -13,6 +13,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.campaign.spec import DEFAULT_SCENARIO
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner -> here)
     from repro.campaign.runner import CellOutcome
     from repro.campaign.spec import CampaignSpec
@@ -71,6 +73,7 @@ class CampaignReport:
             s = o.result.get("summary", {})
             out.append(
                 {
+                    "scenario": p.get("scenario", DEFAULT_SCENARIO),
                     "model": p.get("model"),
                     "wave": p.get("wave", {}).get("name"),
                     "method": p.get("method"),
@@ -83,6 +86,7 @@ class CampaignReport:
                         "elapsed_per_step_per_case_s"
                     ),
                     "iterations_per_step": s.get("iterations_per_step"),
+                    "predictor_s_used": s.get("predictor_s_used"),
                     "achieved_relres": s.get("achieved_relres"),
                     "energy_per_step_per_case_J": s.get(
                         "energy_per_step_per_case_J"
@@ -112,6 +116,7 @@ class CampaignReport:
             "n_cells": len(rows),
             "elapsed_per_step_per_case_s": mean_of("elapsed_per_step_per_case_s"),
             "iterations_per_step": mean_of("iterations_per_step"),
+            "predictor_s_used": mean_of("predictor_s_used"),
             "achieved_relres": worst_of("achieved_relres"),
             "energy_per_step_per_case_J": mean_of("energy_per_step_per_case_J"),
         }
@@ -139,8 +144,10 @@ class CampaignReport:
             )
         }
 
-    def by_scenario(self) -> dict[tuple[str, str], dict]:
-        """Mean per-cell metrics for each (model, wave) scenario.
+    def by_scenario(self) -> dict[tuple[str, str, str], dict]:
+        """Mean per-cell metrics for each (scenario, model, wave)
+        workload — the registered scenario first, then the ground
+        structure and wave family it ran on.
 
         The mean runs over the campaign's whole method x nparts mix —
         every scenario carries the identical mix, so *relative*
@@ -151,7 +158,9 @@ class CampaignReport:
         return {
             k: self._agg(rows)
             for k, rows in sorted(
-                self._grouped(lambda r: (r["model"], r["wave"])).items()
+                self._grouped(
+                    lambda r: (r["scenario"], r["model"], r["wave"])
+                ).items()
             )
         }
 
@@ -230,17 +239,21 @@ class CampaignReport:
     def scenario_table(self) -> str:
         rows = [
             [
+                scenario,
                 model,
                 wave,
                 str(a["n_cells"]),
                 f"{a['elapsed_per_step_per_case_s']:.3e}",
                 f"{a['iterations_per_step']:.1f}",
+                f"{a['predictor_s_used']:.1f}",
+                f"{a['achieved_relres']:.2e}",
             ]
-            for (model, wave), a in self.by_scenario().items()
+            for (scenario, model, wave), a in self.by_scenario().items()
         ]
         return format_table(
             f"campaign {self.spec.name}: per-scenario summary",
-            ["model", "wave", "cells", "t/step/case [s]", "iters/step"],
+            ["scenario", "model", "wave", "cells", "t/step/case [s]",
+             "iters/step", "s_used", "achieved relres"],
             rows,
         )
 

@@ -22,6 +22,7 @@ import pathlib
 from dataclasses import asdict, dataclass, field
 
 __all__ = [
+    "DEFAULT_SCENARIO",
     "WaveSpec",
     "CampaignCell",
     "CampaignSpec",
@@ -51,6 +52,20 @@ def _validate_precision(name: str) -> str:
     from repro.sparse.precision import as_precision
 
     return as_precision(name).name
+
+
+#: The workload scenario pre-axis cells implicitly ran (must mirror
+#: :data:`repro.workloads.scenario.DEFAULT_SCENARIO`; kept literal so
+#: the spec layer stays import-light).
+DEFAULT_SCENARIO = "impulse"
+
+
+def _validate_scenario(name: str) -> str:
+    """Spec-time scenario validation (lazy import; the registry's own
+    resolver raises loudly on unknown names)."""
+    from repro.workloads.scenario import scenario_by_name
+
+    return scenario_by_name(str(name)).name
 
 
 def _canonical(params: dict) -> str:
@@ -126,18 +141,21 @@ def method_cell_params(
     seed: int,
     nparts: int = 1,
     precision: str = "fp64",
+    scenario: str = DEFAULT_SCENARIO,
 ) -> tuple[dict, str]:
     """Canonical ``(params, label)`` of one ``"method"`` campaign cell.
 
     The single owner of the method-cell schema: grid expansion
-    (:meth:`CampaignSpec.cells`) and the scaling/transprecision studies
-    (:mod:`repro.studies.weakscaling`,
-    :mod:`repro.studies.transprecision`) all build their cells here, so
-    equivalent work always produces the same content hash.  ``nparts``
-    and ``precision`` enter the params (and hence the hash) only at
-    non-default values — the content-addition discipline that keeps
-    pre-axis cells cached — and the scenario ``seed`` is independent
-    of both, so sweeps along either axis compare identical physics.
+    (:meth:`CampaignSpec.cells`) and the scaling/transprecision/
+    scenario studies (:mod:`repro.studies.weakscaling`,
+    :mod:`repro.studies.transprecision`,
+    :mod:`repro.studies.scenarios`) all build their cells here, so
+    equivalent work always produces the same content hash.  ``nparts``,
+    ``precision`` and ``scenario`` enter the params (and hence the
+    hash) only at non-default values — the content-addition discipline
+    that keeps pre-axis cells cached — and the scenario ``seed`` is
+    independent of all three, so sweeps along any axis compare
+    identical random draws.
     """
     res = tuple(int(x) for x in resolution)
     res_tag = "x".join(map(str, res))
@@ -155,6 +173,9 @@ def method_cell_params(
         "seed": derive_seed(seed, model, wave.name, method, res_tag),
     }
     label = f"{model}/{wave.name}/{method}/{res_tag}"
+    if scenario != DEFAULT_SCENARIO:
+        params["scenario"] = _validate_scenario(scenario)
+        label += f"/{scenario}"
     if nparts > 1:
         params["nparts"] = int(nparts)
         label += f"/p{int(nparts)}"
@@ -218,6 +239,14 @@ class CampaignSpec:
     #: adding precisions to an existing campaign never invalidates
     #: cached full-precision cells.
     precision: tuple[str, ...] = ("fp64",)
+    #: Workload axis: every method additionally runs each registered
+    #: scenario here (:mod:`repro.workloads.scenario`) — physically
+    #: distinct ground-structure x source-process bundles.  The
+    #: default ``"impulse"`` scenario keeps its pre-axis content hash
+    #: (same discipline as ``nparts``/``precision``), so adding
+    #: scenarios to an existing campaign never invalidates cached
+    #: random-impulse cells.
+    scenarios: tuple[str, ...] = (DEFAULT_SCENARIO,)
 
     def __post_init__(self) -> None:
         from repro.core.methods import METHODS
@@ -284,6 +313,15 @@ class CampaignSpec:
             _validate_precision(prec)
         if len(set(self.precision)) != len(self.precision):
             raise ValueError("duplicate precision entries")
+        object.__setattr__(
+            self, "scenarios", tuple(str(s) for s in self.scenarios)
+        )
+        if not self.scenarios:
+            raise ValueError("campaign grid has an empty axis")
+        for scen in self.scenarios:
+            _validate_scenario(scen)
+        if len(set(self.scenarios)) != len(self.scenarios):
+            raise ValueError("duplicate scenario entries")
 
     def _part_axis(self, method: str) -> tuple[int, ...]:
         """The part counts one method expands over (baselines run once)."""
@@ -296,6 +334,7 @@ class CampaignSpec:
             * len(self.waves)
             * len(self.resolutions)
             * len(self.precision)
+            * len(self.scenarios)
             * sum(len(self._part_axis(m)) for m in self.methods)
         )
 
@@ -305,17 +344,20 @@ class CampaignSpec:
         for model, wave, method, res in itertools.product(
             self.models, self.waves, self.methods, self.resolutions
         ):
-            for np_ in self._part_axis(method):
-                for prec in self.precision:
-                    params, label = method_cell_params(
-                        model, wave, method, res,
-                        cases=self.cases, steps=self.steps, module=self.module,
-                        eps=self.eps, s_min=self.s_min, s_max=self.s_max,
-                        seed=self.seed, nparts=np_, precision=prec,
-                    )
-                    out.append(
-                        CampaignCell(kind="method", params=params, label=label)
-                    )
+            for scen in self.scenarios:
+                for np_ in self._part_axis(method):
+                    for prec in self.precision:
+                        params, label = method_cell_params(
+                            model, wave, method, res,
+                            cases=self.cases, steps=self.steps,
+                            module=self.module, eps=self.eps,
+                            s_min=self.s_min, s_max=self.s_max,
+                            seed=self.seed, nparts=np_, precision=prec,
+                            scenario=scen,
+                        )
+                        out.append(
+                            CampaignCell(kind="method", params=params, label=label)
+                        )
         return out
 
     # -- (de)serialization --------------------------------------------

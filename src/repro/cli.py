@@ -4,6 +4,9 @@ Commands
 --------
 ``models``
     List the built-in ground-structure workloads.
+``scenarios``
+    List the registered workload scenarios (ground structure x source
+    process bundles).
 ``info``
     Build a problem and print its discretization facts.
 ``run``
@@ -13,8 +16,9 @@ Commands
     Characterize the workload and sweep an architectural parameter.
 ``campaign``
     Run a many-scenario ensemble campaign (grid of ground models x
-    input waves x methods x resolutions) through the cached, optionally
-    parallel campaign engine, and print aggregated summary tables.
+    input waves x methods x resolutions, optionally fanned over
+    registered scenarios) through the cached, optionally parallel
+    campaign engine, and print aggregated summary tables.
 """
 
 from __future__ import annotations
@@ -22,17 +26,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.hardware.specs import MODULES
     from repro.sparse.precision import PRECISIONS
+    from repro.workloads.scenario import DEFAULT_SCENARIO, scenario_names
 
     modules = sorted(MODULES)
     precisions = sorted(PRECISIONS)
+    scenarios = list(scenario_names())
     p = argparse.ArgumentParser(
         prog="repro",
         description="Heterogeneous CPU-GPU time-evolution solver (SC'24 reproduction)",
@@ -40,6 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list ground-structure workloads")
+    sub.add_parser("scenarios", help="list registered workload scenarios")
 
     info = sub.add_parser("info", help="print problem facts")
     _add_problem_args(info)
@@ -61,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "(ebe-mcg@cpu-gpu only)")
     run.add_argument("--precision", default="fp64", choices=precisions,
                      help="transprecision storage policy of the solver")
+    run.add_argument("--scenario", default=DEFAULT_SCENARIO, choices=scenarios,
+                     help="registered workload scenario (see `repro scenarios`)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", default=None, help="save result JSON here")
     run.add_argument("--vtk", default=None, help="save final displacement VTK here")
@@ -94,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--precision", default="fp64",
                       help="comma-separated storage precisions for the "
                            "transprecision axis, e.g. 'fp64,fp21'")
+    camp.add_argument("--scenario", default=DEFAULT_SCENARIO,
+                      help="comma-separated workload scenarios, e.g. "
+                           "'impulse,fault-rupture' (see `repro scenarios`)")
     camp.add_argument("--module", default="single-gh200",
                       choices=modules)
     camp.add_argument("--seed", type=int, default=0)
@@ -119,26 +129,32 @@ def _module(name: str):
     return module_by_name(name)
 
 
-def _problem(args):
-    from repro.workloads.ground import GROUND_MODELS, build_ground_problem
-
-    if args.model not in GROUND_MODELS:
-        raise SystemExit(f"unknown model {args.model!r}; try `repro models`")
+def _resolution(args) -> tuple[int, int, int]:
     res = tuple(int(x) for x in args.resolution.split(","))
     if len(res) != 3:
         raise SystemExit("--resolution needs three comma-separated integers")
-    return build_ground_problem(GROUND_MODELS[args.model](), resolution=res)
+    return res
+
+
+def _problem(args, scen=None):
+    from repro.workloads.ground import GROUND_MODELS
+    from repro.workloads.scenario import DEFAULT_SCENARIO, scenario_by_name
+
+    if args.model not in GROUND_MODELS:
+        raise SystemExit(f"unknown model {args.model!r}; try `repro models`")
+    if scen is None:
+        scen = scenario_by_name(DEFAULT_SCENARIO)()
+    return scen.build_problem(args.model, _resolution(args))
 
 
 def _forces(problem, n, seed):
-    from repro.analysis.waves import BandlimitedImpulse
+    """Default-scenario ensemble forces (one owner of the wave
+    defaults: :func:`repro.workloads.scenario.wave_params`)."""
+    from repro.workloads.scenario import DEFAULT_SCENARIO, scenario_by_name
 
-    f0 = 0.3 / (np.pi * problem.dt)
-    return [
-        BandlimitedImpulse.random(problem.mesh, problem.dt, rng=seed + i,
-                                  amplitude=1e6, f0=f0, cycles_to_onset=1.0)
-        for i in range(n)
-    ]
+    return scenario_by_name(DEFAULT_SCENARIO)().forces(
+        problem, {}, seed=seed, n_cases=n
+    )
 
 
 def _cmd_models(_args) -> int:
@@ -148,6 +164,14 @@ def _cmd_models(_args) -> int:
         m = factory()
         print(f"{name:12s} soft vs={m.soft.vs:g} m/s, hard vs={m.hard.vs:g} m/s, "
               f"domain {m.dims}")
+    return 0
+
+
+def _cmd_scenarios(_args) -> int:
+    from repro.workloads.scenario import scenario_by_name, scenario_names
+
+    for name in scenario_names():
+        print(f"{name:14s} {scenario_by_name(name).description}")
     return 0
 
 
@@ -179,8 +203,13 @@ def _cmd_run(args) -> int:
         raise SystemExit(
             f"--nparts > 1 requires --method in {PARTITIONABLE_METHODS}"
         )
-    problem = _problem(args)
-    forces = _forces(problem, args.cases, args.seed)
+    from repro.workloads.scenario import scenario_by_name
+
+    scen = scenario_by_name(args.scenario)()
+    problem = _problem(args, scen=scen)
+    # an empty wave dict resolves to wave_params' defaults — the same
+    # values the campaign's w0 family carries, owned in one place
+    forces = scen.forces(problem, {}, seed=args.seed, n_cases=args.cases)
     result = run_method(
         problem, forces, nt=args.steps, method=args.method,
         module=_module(args.module), s_range=(args.s_min, args.s_max),
@@ -191,7 +220,8 @@ def _cmd_run(args) -> int:
     # (non-empty even for --steps 1)
     window = (max(1, args.steps * 5 // 8), args.steps + 1)
     print(f"\n{args.method} on {args.module} "
-          f"({problem.n_dofs} dofs, {args.cases} cases, {args.steps} steps)")
+          f"({args.scenario} scenario, {problem.n_dofs} dofs, "
+          f"{args.cases} cases, {args.steps} steps)")
     for k, v in result.summary(window).items():
         print(f"  {k:34s} {v}")
     if args.json:
@@ -255,6 +285,7 @@ def _campaign_spec(args):
             seed=args.seed,
             nparts=tuple(int(p) for p in args.nparts.split(",")),
             precision=tuple(args.precision.split(",")),
+            scenarios=tuple(args.scenario.split(",")),
         )
     except ValueError as exc:
         raise SystemExit(f"bad campaign grid: {exc}") from exc
@@ -275,6 +306,8 @@ def _cmd_campaign(args) -> int:
                  + " on partitionable methods")
     if len(spec.precision) > 1:
         axes += ", precision " + ",".join(spec.precision)
+    if len(spec.scenarios) > 1:
+        axes += ", scenarios " + ",".join(spec.scenarios)
     print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells ({axes}), "
           f"jobs={args.jobs}\n")
     print(report.render())
@@ -287,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "models": _cmd_models,
+        "scenarios": _cmd_scenarios,
         "info": _cmd_info,
         "run": _cmd_run,
         "sensitivity": _cmd_sensitivity,

@@ -98,6 +98,16 @@ class RunResult:
         p = self.power.get("module_power", 0.0)
         return p * self.elapsed_per_step_per_case(window)
 
+    def predictor_s_used(self, window: tuple[int, int] | None = None) -> float:
+        """Mean consumed history length over the window (the larger of
+        the two process sets' ``s``; 0 for the AB-only baselines) —
+        how much history the data-driven predictor actually earned,
+        which scenario difficulty tables read against iteration
+        counts (a source that keeps re-bootstrapping holds ``s``
+        down)."""
+        recs = self._window(window)
+        return float(np.mean([max(r.s_used, r.s_used_b) for r in recs]))
+
     def s_trace(self) -> np.ndarray:
         return np.asarray([r.s_used for r in self.records])
 
@@ -113,6 +123,7 @@ class RunResult:
             "solver_per_step_per_case_s": self.solver_time_per_step_per_case(window),
             "predictor_per_step_per_case_s": self.predictor_time_per_step_per_case(window),
             "iterations_per_step": self.iterations_per_step(window),
+            "predictor_s_used": self.predictor_s_used(window),
             "achieved_relres": self.achieved_relres(window),
             "module_power_W": self.power.get("module_power", 0.0),
             "gpu_power_W": self.power.get("gpu_power", 0.0),

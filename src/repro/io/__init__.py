@@ -5,10 +5,21 @@
   and cross-run comparison);
 * :mod:`~repro.io.vtk` — legacy-VTK export of TET10 meshes with nodal
   and cell fields (dominant-frequency maps, displacement snapshots)
-  for ParaView-style inspection of Fig. 1 results.
+  for ParaView-style inspection of Fig. 1 results;
+* :mod:`~repro.io.golden` — bit-stable golden regression fixtures
+  (the committed per-scenario summaries ``tests/golden`` pins).
 """
 
+from repro.io.golden import canonical, golden_diff, load_golden, save_golden
 from repro.io.results import load_result_summary, save_result
 from repro.io.vtk import write_vtk
 
-__all__ = ["save_result", "load_result_summary", "write_vtk"]
+__all__ = [
+    "save_result",
+    "load_result_summary",
+    "write_vtk",
+    "canonical",
+    "golden_diff",
+    "load_golden",
+    "save_golden",
+]

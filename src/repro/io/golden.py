@@ -1,0 +1,94 @@
+"""Golden regression fixtures: bit-stable JSON snapshots of summaries.
+
+The golden harness (``tests/golden/``) pins each scenario's fp64
+summary numbers — iteration counts, residuals, timeline totals — as a
+committed JSON fixture.  fp64 runs are deterministic down to the last
+bit (content-derived RNG seeds, canonical-order reductions), so the
+fixtures are compared with *exact* equality: any numeric drift in any
+layer below (FEM assembly, solver, predictor, hardware model) fails
+the tier-1 suite instead of silently shifting the paper tables.
+
+JSON is the equality domain: ``json.dumps`` writes floats via
+``repr`` (shortest round-trip form), so a value survives
+save -> load unchanged and exact comparison is meaningful.  Use
+:func:`canonical` to project a freshly computed document into that
+domain before comparing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["canonical", "save_golden", "load_golden", "golden_diff"]
+
+_GOLDEN_SCHEMA = 1
+
+
+def canonical(doc: dict) -> dict:
+    """Project a result document into the JSON domain (numpy scalars
+    to Python numbers, tuples to lists, floats through repr) — the
+    form both the fixture on disk and the comparison use."""
+    from repro.io.results import _jsonable
+
+    return json.loads(json.dumps(_jsonable(doc)))
+
+
+def save_golden(doc: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Write one golden fixture (sorted keys, so regenerated fixtures
+    diff cleanly in review)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    out = {"schema": _GOLDEN_SCHEMA, **canonical(doc)}
+    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_golden(path: str | pathlib.Path) -> dict:
+    """Read one golden fixture; raises on schema mismatch."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.pop("schema", None) != _GOLDEN_SCHEMA:
+        raise ValueError(
+            f"unsupported golden schema in {path} (expected {_GOLDEN_SCHEMA})"
+        )
+    return doc
+
+
+def golden_diff(expected, actual, path: str = "$") -> list[str]:
+    """Exact recursive comparison, returning one human-readable line
+    per mismatching leaf (empty list == documents identical).
+
+    Floats are compared for *bit* equality — this is the regression
+    harness's whole point — except that NaN equals NaN, so an
+    intentionally-NaN column does not fail forever.
+    """
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(expected, dict) and isinstance(actual, dict)):
+            return [f"{path}: type {type(expected).__name__} != "
+                    f"{type(actual).__name__}"]
+        out = []
+        for k in sorted(set(expected) | set(actual)):
+            if k not in expected:
+                out.append(f"{path}.{k}: unexpected key")
+            elif k not in actual:
+                out.append(f"{path}.{k}: missing key")
+            else:
+                out.extend(golden_diff(expected[k], actual[k], f"{path}.{k}"))
+        return out
+    if isinstance(expected, list) or isinstance(actual, list):
+        if not (isinstance(expected, list) and isinstance(actual, list)):
+            return [f"{path}: type {type(expected).__name__} != "
+                    f"{type(actual).__name__}"]
+        if len(expected) != len(actual):
+            return [f"{path}: length {len(expected)} != {len(actual)}"]
+        out = []
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            out.extend(golden_diff(e, a, f"{path}[{i}]"))
+        return out
+    if isinstance(expected, float) and isinstance(actual, float):
+        if expected != actual and not (expected != expected and actual != actual):
+            return [f"{path}: {expected!r} != {actual!r}"]
+        return []
+    if expected != actual or type(expected) is not type(actual):
+        return [f"{path}: {expected!r} != {actual!r}"]
+    return []

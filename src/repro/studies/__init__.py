@@ -13,6 +13,10 @@
 * :mod:`~repro.studies.transprecision` — accuracy-vs-speed sweeps over
   the FP64/FP32/FP21 storage policies, one campaign cell per
   precision (achieved residual, iteration inflation, modeled speedup).
+* :mod:`~repro.studies.scenarios` — cross-scenario difficulty sweeps
+  over the registered workload library, one campaign cell per
+  scenario (iterations/step, earned predictor history, achieved
+  residual, inflation vs the impulse anchor).
 
 Both sweeps are also expressible as *campaigns* (see
 :mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
@@ -49,6 +53,13 @@ from repro.studies.transprecision import (
     transprecision_cells,
     transprecision_table,
 )
+from repro.studies.scenarios import (
+    ScenarioPoint,
+    render_scenario_table,
+    run_scenario_campaign,
+    scenario_cells,
+    scenario_table,
+)
 
 __all__ = [
     "StepProfile",
@@ -72,4 +83,9 @@ __all__ = [
     "run_transprecision_campaign",
     "transprecision_table",
     "modeled_solver_bytes_per_iteration",
+    "ScenarioPoint",
+    "scenario_cells",
+    "run_scenario_campaign",
+    "scenario_table",
+    "render_scenario_table",
 ]

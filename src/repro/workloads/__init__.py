@@ -1,4 +1,9 @@
-"""Ready-made workloads: the paper's three ground-structure models."""
+"""Ready-made workloads: the paper's ground models + the scenario
+registry (pluggable ground structure x source process bundles).
+
+Importing this package registers every built-in scenario; external
+code adds its own with :func:`register_scenario`.
+"""
 
 from repro.workloads.ground import (
     GROUND_MODELS,
@@ -9,6 +14,27 @@ from repro.workloads.ground import (
     stratified_model,
     suggested_dt,
 )
+from repro.workloads.scenario import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    ImpulseScenario,
+    Scenario,
+    register_scenario,
+    scenario_by_name,
+    scenario_names,
+    wave_params,
+)
+from repro.workloads.library import (  # noqa: F401 - registers the library
+    AftershockScenario,
+    AftershockSequence,
+    FaultRuptureScenario,
+    KinematicRuptureForce,
+    LayeredBasinModel,
+    LayeredBasinScenario,
+    SoftSoilScenario,
+    layered_basin_model,
+    soft_soil_model,
+)
 
 __all__ = [
     "GroundModel",
@@ -18,4 +44,21 @@ __all__ = [
     "slanted_model",
     "build_ground_problem",
     "suggested_dt",
+    "DEFAULT_SCENARIO",
+    "SCENARIOS",
+    "Scenario",
+    "ImpulseScenario",
+    "register_scenario",
+    "scenario_by_name",
+    "scenario_names",
+    "wave_params",
+    "LayeredBasinModel",
+    "LayeredBasinScenario",
+    "FaultRuptureScenario",
+    "SoftSoilScenario",
+    "AftershockScenario",
+    "KinematicRuptureForce",
+    "AftershockSequence",
+    "layered_basin_model",
+    "soft_soil_model",
 ]

@@ -1,0 +1,379 @@
+"""The scenario library: physically distinct workloads beyond the
+paper's random-impulse ensemble.
+
+Each scenario stresses a different part of the predictor/solver stack:
+
+* ``layered-basin`` — a lens of very soft lacustrine fill nested in
+  the sediment layer.  Basin-edge amplification traps surface waves in
+  the fill; the three-material stiffness ladder worsens the operator's
+  conditioning, so CG iteration counts probe the preconditioner.
+* ``fault-rupture`` — a kinematic shear dislocation on a buried
+  vertical fault plane, unzipping from the hypocenter at a finite
+  rupture velocity.  The forcing moves through the domain over many
+  steps (not one impulsive onset), so the data-driven predictor must
+  track a non-stationary source instead of free vibration.
+* ``soft-soil`` — an equivalent-linear strong-motion proxy: the
+  sediment degraded to strain-softened moduli (vs 90 m/s) with boosted
+  hysteretic damping, driven harder and at longer periods.  The
+  soft/hard contrast (bedrock vs ~11x the soil's) is the conditioning
+  regime where iteration counts blow up if the preconditioner is weak.
+* ``aftershocks`` — a mainshock followed by a decaying sequence of
+  off-fault aftershocks separated by quiescent gaps.  During a gap the
+  response decays toward rest, the adaptive controller grows the
+  history length ``s`` — and then a new event arrives, forcing the
+  predictor to re-bootstrap mid-run (the resume path PR 2 fixed, now
+  exercised continuously).
+
+All randomness flows through the per-case RNG stream handed to
+:meth:`~repro.workloads.scenario.Scenario.case_force`, so every
+scenario is deterministic under a fixed campaign seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.waves import random_impulse_pattern, ricker
+from repro.fem.material import Material
+from repro.fem.mesh import Tet10Mesh
+from repro.workloads.ground import GroundModel
+from repro.workloads.scenario import ImpulseScenario, Scenario, register_scenario
+
+__all__ = [
+    "BASIN_FILL",
+    "SOFT_SOIL",
+    "LayeredBasinModel",
+    "layered_basin_model",
+    "soft_soil_model",
+    "KinematicRuptureForce",
+    "AftershockSequence",
+    "LayeredBasinScenario",
+    "FaultRuptureScenario",
+    "SoftSoilScenario",
+    "AftershockScenario",
+]
+
+#: Very soft lacustrine/estuarine basin fill (San Francisco Bay mud,
+#: Mexico City clay class): the amplification-prone third layer.
+BASIN_FILL = Material(rho=1600.0, vp=500.0, vs=120.0, damping=0.04)
+
+#: Strain-degraded soft soil (equivalent-linear strong-motion moduli):
+#: the secant stiffness a 0.1%-strain cycle leaves of the sediment.
+SOFT_SOIL = Material(rho=1500.0, vp=300.0, vs=90.0, damping=0.05)
+
+#: Strong-motion drive of the soft-soil scenario relative to the wave
+#: family's nominal amplitude (and the period stretch of its source).
+_STRONG_MOTION_AMP = 4.0
+_STRONG_MOTION_F0 = 0.6
+
+
+# ---------------------------------------------------------------- models
+@dataclass(frozen=True)
+class LayeredBasinModel(GroundModel):
+    """Three-material ground: ``fill`` above ``fill_interface``, then
+    the base model's sediment, then bedrock below its interface."""
+
+    fill: Material = BASIN_FILL
+    fill_interface: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+
+    def element_materials(
+        self, mesh: Tet10Mesh
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rho, vp, vs = super().element_materials(mesh)
+        if self.fill_interface is None:
+            return rho, vp, vs
+        c = mesh.element_centroids()
+        in_fill = c[:, 2] >= self.fill_interface(c[:, 0], c[:, 1])
+        rho = np.where(in_fill, self.fill.rho, rho)
+        vp = np.where(in_fill, self.fill.vp, vp)
+        vs = np.where(in_fill, self.fill.vs, vs)
+        return rho, vp, vs
+
+
+def layered_basin_model(
+    base: GroundModel,
+    fill_depth_frac: float = 0.35,
+    radius_frac: float = 0.3,
+) -> LayeredBasinModel:
+    """Nest a bowl of :data:`BASIN_FILL` into ``base``'s sediment.
+
+    The fill bowl is centered at the surface, ``fill_depth_frac`` of
+    the domain height deep at its middle and feathering to nothing at
+    ``radius_frac`` of the horizontal extent — outside the bowl the
+    base model is untouched.
+    """
+    lx, ly, lz = base.dims
+    R = radius_frac * min(lx, ly)
+    depth = fill_depth_frac * lz
+
+    def fill_interface(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        r2 = (np.asarray(x) - lx / 2) ** 2 + (np.asarray(y) - ly / 2) ** 2
+        bowl = np.clip(1.0 - r2 / R**2, 0.0, None)
+        return lz - depth * bowl
+
+    return LayeredBasinModel(
+        name=f"{base.name}+fill",
+        interface=base.interface,
+        soft=base.soft,
+        hard=base.hard,
+        dims=base.dims,
+        fill_interface=fill_interface,
+    )
+
+
+def soft_soil_model(base: GroundModel) -> GroundModel:
+    """``base`` with its sediment degraded to :data:`SOFT_SOIL` — the
+    equivalent-linear reading of strong nonlinear site response."""
+    return dataclasses.replace(
+        base, name=f"{base.name}+soft", soft=SOFT_SOIL
+    )
+
+
+# ---------------------------------------------------------------- forces
+@dataclass
+class KinematicRuptureForce:
+    """Shear couple unzipping along a buried fault plane.
+
+    Every selected node carries a tangential (slip-parallel) force
+    whose sign flips across the plane — a distributed double couple —
+    switched on by a Ricker source-time function delayed by the node's
+    rupture distance from the hypocenter over ``v_rupture``.
+    """
+
+    dof: np.ndarray  # (k, 3) dof indices of the selected nodes
+    vectors: np.ndarray  # (k, 3) signed slip-parallel force vectors
+    onsets: np.ndarray  # (k,) per-node rupture arrival times [s]
+    f0: float
+    dt: float
+    n_dofs: int
+
+    def __call__(self, it: int) -> np.ndarray:
+        w = ricker(it * self.dt, self.f0, self.onsets)
+        f = np.zeros(self.n_dofs)
+        np.add.at(f, self.dof.ravel(), (self.vectors * w[:, None]).ravel())
+        return f
+
+    @property
+    def rupture_end(self) -> float:
+        """Time after which every patch has finished radiating."""
+        return float(self.onsets.max() + 2.0 / self.f0)
+
+    @classmethod
+    def random(
+        cls,
+        mesh: Tet10Mesh,
+        dt: float,
+        rng: np.random.Generator,
+        amplitude: float,
+        f0: float,
+        cycles_to_onset: float = 1.0,
+        rupture_cycles: float = 2.5,
+    ) -> "KinematicRuptureForce":
+        """Sample a fault plane, hypocenter and slip distribution.
+
+        The vertical plane passes near the domain center with a random
+        strike; the rupture velocity is set so the farthest patch
+        breaks ``rupture_cycles`` source periods after the hypocenter
+        — the forcing stays non-stationary for that long.
+        """
+        lo, hi = mesh.bounds()
+        dims = hi - lo
+        center = lo + dims * np.array(
+            [rng.uniform(0.35, 0.65), rng.uniform(0.35, 0.65), 0.0]
+        )
+        strike = rng.uniform(0.0, np.pi)
+        u_hat = np.array([np.cos(strike), np.sin(strike), 0.0])  # slip dir
+        n_hat = np.array([-np.sin(strike), np.cos(strike), 0.0])  # plane normal
+
+        # plane half-thickness from the coarsest node spacing, so even
+        # a 2x2x1 mesh puts nodes on both sides of the plane
+        spacing = []
+        for ax in range(3):
+            u = np.unique(np.round(mesh.nodes[:, ax], 9))
+            if u.size > 1:
+                spacing.append(np.diff(u).min())
+        tol = 1.01 * max(spacing)
+
+        rel = mesh.nodes - center
+        dist_n = rel @ n_hat
+        on_plane = np.abs(dist_n) <= tol
+        idx = np.flatnonzero(on_plane)
+
+        # hypocenter: mid-depth on the plane
+        hypo_z = lo[2] + 0.4 * dims[2]
+        d_along = rel[idx] @ u_hat
+        d_rupture = np.sqrt(d_along**2 + (mesh.nodes[idx, 2] - hypo_z) ** 2)
+        t0 = cycles_to_onset / f0
+        d_max = float(d_rupture.max())
+        v_r = d_max / (rupture_cycles / f0) if d_max > 0 else 1.0
+        onsets = t0 + d_rupture / v_r
+
+        side = np.where(dist_n[idx] >= 0.0, 1.0, -1.0)
+        amps = np.abs(rng.standard_normal(idx.size)) * amplitude
+        vectors = (side * amps)[:, None] * u_hat[None, :]
+        dof = 3 * idx[:, None] + np.arange(3)[None, :]
+        return cls(
+            dof=dof,
+            vectors=vectors,
+            onsets=onsets,
+            f0=float(f0),
+            dt=float(dt),
+            n_dofs=mesh.n_dofs,
+        )
+
+
+@dataclass
+class AftershockSequence:
+    """Mainshock plus decaying aftershocks with quiescent gaps.
+
+    ``f(it)`` superposes one Ricker-windowed random impulse pattern
+    per event; between events the source is silent for multiple
+    source periods, so the response rings down and the adaptive
+    predictor's history grows stale before the next event hits.
+    """
+
+    patterns: np.ndarray  # (n_dofs, n_events) per-event spatial patterns
+    onsets: np.ndarray  # (n_events,) event times [s]
+    rel_amps: np.ndarray  # (n_events,) Omori-flavored amplitude decay
+    f0: float
+    dt: float
+
+    def __call__(self, it: int) -> np.ndarray:
+        w = self.rel_amps * ricker(it * self.dt, self.f0, self.onsets)
+        return self.patterns @ w
+
+    def quiet_windows(self) -> list[tuple[float, float]]:
+        """Inter-event time windows where every source is negligible
+        (Ricker support taken as +-1.5 periods around each onset)."""
+        half = 1.5 / self.f0
+        out = []
+        for a, b in zip(self.onsets[:-1], self.onsets[1:]):
+            if a + half < b - half:
+                out.append((float(a + half), float(b - half)))
+        return out
+
+    @classmethod
+    def random(
+        cls,
+        mesh: Tet10Mesh,
+        dt: float,
+        rng: np.random.Generator,
+        amplitude: float,
+        f0: float,
+        cycles_to_onset: float = 1.0,
+        n_aftershocks: int = 2,
+        quiescence_cycles: float = 3.0,
+    ) -> "AftershockSequence":
+        """One mainshock and ``n_aftershocks`` smaller events, each a
+        fresh random surface pattern (aftershocks relocate), onsets
+        separated by at least ``quiescence_cycles`` source periods."""
+        n_events = 1 + int(n_aftershocks)
+        patterns = np.column_stack(
+            [
+                random_impulse_pattern(mesh, rng=rng, amplitude=amplitude)
+                for _ in range(n_events)
+            ]
+        )
+        onsets = np.empty(n_events)
+        onsets[0] = cycles_to_onset / f0
+        for k in range(1, n_events):
+            gap = (quiescence_cycles + rng.uniform(0.0, 1.0)) / f0
+            onsets[k] = onsets[k - 1] + gap
+        # Omori-flavored decay with mild per-event scatter
+        rel_amps = np.array(
+            [
+                1.0 if k == 0 else (0.8 + 0.4 * rng.uniform()) / (k + 1)
+                for k in range(n_events)
+            ]
+        )
+        return cls(
+            patterns=patterns,
+            onsets=onsets,
+            rel_amps=rel_amps,
+            f0=float(f0),
+            dt=float(dt),
+        )
+
+
+# -------------------------------------------------------------- scenarios
+@register_scenario
+class LayeredBasinScenario(ImpulseScenario):
+    """Impulse ensemble over a three-material nested-basin structure."""
+
+    name = "layered-basin"
+    description = (
+        "soft lacustrine fill nested in the sediment: basin-edge "
+        "amplification and a three-material stiffness ladder"
+    )
+
+    def ground_model(self, model: str) -> GroundModel:
+        return layered_basin_model(Scenario.ground_model(self, model))
+
+
+@register_scenario
+class FaultRuptureScenario(Scenario):
+    """Kinematic fault-rupture source on the unmodified structure."""
+
+    name = "fault-rupture"
+    description = (
+        "kinematic shear rupture unzipping a buried fault plane at "
+        "finite rupture velocity: a non-stationary, travelling source"
+    )
+
+    def case_force(self, problem, wave, rng):
+        return KinematicRuptureForce.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"],
+            f0=wave["f0_factor"] / (np.pi * problem.dt),
+            cycles_to_onset=wave["cycles_to_onset"],
+        )
+
+
+@register_scenario
+class SoftSoilScenario(ImpulseScenario):
+    """Equivalent-linear strong-motion proxy: degraded moduli, harder
+    and longer-period drive."""
+
+    name = "soft-soil"
+    description = (
+        "strain-degraded soft soil (equivalent-linear strong motion): "
+        "extreme soft/hard contrast driven hard at long periods"
+    )
+
+    def ground_model(self, model: str) -> GroundModel:
+        return soft_soil_model(Scenario.ground_model(self, model))
+
+    def case_force(self, problem, wave, rng):
+        strong = dict(
+            wave,
+            amplitude=wave["amplitude"] * _STRONG_MOTION_AMP,
+            f0_factor=wave["f0_factor"] * _STRONG_MOTION_F0,
+        )
+        return super().case_force(problem, strong, rng)
+
+
+@register_scenario
+class AftershockScenario(Scenario):
+    """Multi-event sequence with inter-event quiescence."""
+
+    name = "aftershocks"
+    description = (
+        "mainshock + decaying aftershocks separated by quiescent gaps: "
+        "the predictor must re-bootstrap after every ring-down"
+    )
+
+    def case_force(self, problem, wave, rng):
+        return AftershockSequence.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"],
+            f0=wave["f0_factor"] / (np.pi * problem.dt),
+            cycles_to_onset=wave["cycles_to_onset"],
+        )

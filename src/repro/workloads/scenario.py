@@ -1,0 +1,206 @@
+"""Pluggable scenario registry: *what* the solver stack is asked to solve.
+
+A :class:`Scenario` bundles the two ingredients of a workload —
+
+* the **ground structure** (which :class:`~repro.workloads.ground.GroundModel`
+  variant to mesh, possibly rebuilt with scenario-specific materials), and
+* the **source process** (one forcing callable ``f(it) -> (n_dofs,)``
+  per ensemble case, drawn from a deterministic per-case RNG stream)
+
+— behind one registered name, so every layer above (``run_method``,
+the campaign grid, the CLI, the studies) can sweep physically distinct
+workloads the same way it sweeps methods, part counts and storage
+precisions.
+
+Registration mirrors the other strict registries
+(:func:`repro.hardware.specs.module_by_name`,
+:data:`repro.sparse.precision.PRECISIONS`): a scenario class is
+registered under its ``name`` with :func:`register_scenario`, and
+:func:`scenario_by_name` resolves names loudly — a typo'd scenario
+must fail at spec time, never silently run the default physics.
+
+The default :class:`ImpulseScenario` reproduces the pre-registry
+behaviour bit-for-bit (same RNG spawning, same band-limited impulse
+construction), which is what lets the campaign's ``scenario`` axis
+keep pre-axis cell hashes and cached artifacts valid.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from repro.analysis.waves import BandlimitedImpulse
+from repro.core.problem import ElasticProblem
+from repro.util.rng import spawn_rngs
+from repro.workloads.ground import GROUND_MODELS, GroundModel, build_ground_problem
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "SCENARIOS",
+    "Scenario",
+    "ImpulseScenario",
+    "register_scenario",
+    "scenario_by_name",
+    "scenario_names",
+    "wave_params",
+]
+
+#: name -> registered Scenario subclass (the class, not an instance:
+#: scenarios are stateless and cheap to instantiate per use).
+SCENARIOS: dict[str, type["Scenario"]] = {}
+
+#: The scenario every pre-registry run implicitly was.  Cells, CLI
+#: invocations and studies that do not name a scenario get this one,
+#: and campaign cells running it keep their pre-axis content hash.
+DEFAULT_SCENARIO = "impulse"
+
+
+def register_scenario(cls: type["Scenario"]) -> type["Scenario"]:
+    """Class decorator adding a :class:`Scenario` to the registry.
+
+    The class's ``name`` is the registry key; re-registering a name
+    with a *different* class is an error (re-importing the same class
+    is idempotent, so test reloads stay safe).
+    """
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"scenario class {cls.__name__} has no name")
+    existing = SCENARIOS.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"scenario name {name!r} already registered by {existing.__name__}"
+        )
+    SCENARIOS[name] = cls
+    return cls
+
+
+def scenario_by_name(name: str) -> type["Scenario"]:
+    """Resolve a registered scenario class by name; a typo must fail
+    loudly rather than silently run the default physics (the same
+    discipline as :func:`repro.hardware.specs.module_by_name`)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, default first then alphabetical —
+    the deterministic order sweeps and tables present them in."""
+    rest = sorted(n for n in SCENARIOS if n != DEFAULT_SCENARIO)
+    return ((DEFAULT_SCENARIO,) if DEFAULT_SCENARIO in SCENARIOS else ()) + tuple(rest)
+
+
+def wave_params(wave) -> dict:
+    """Normalize a wave description (a campaign ``WaveSpec`` or its
+    params dict) to the plain dict scenarios consume — keeps this
+    module free of a campaign-layer import."""
+    if hasattr(wave, "to_dict"):
+        wave = wave.to_dict()
+    return {
+        "amplitude": float(wave.get("amplitude", 1e6)),
+        "f0_factor": float(wave.get("f0_factor", 0.3)),
+        "cycles_to_onset": float(wave.get("cycles_to_onset", 1.0)),
+    }
+
+
+class Scenario(abc.ABC):
+    """One registered workload: ground structure + source process.
+
+    Subclasses override :meth:`ground_model` to rebuild or replace the
+    named paper model (materials, extra layers) and :meth:`case_force`
+    to define one ensemble case's forcing.  Everything is a pure
+    function of ``(model, resolution, wave, rng)`` — no hidden state —
+    so a scenario is deterministic under a fixed seed, which the golden
+    regression fixtures and the campaign content hashes both rely on.
+    """
+
+    #: registry key (also the campaign cell's ``scenario`` param).
+    name: ClassVar[str] = ""
+    #: one-line physical rationale, shown by ``repro scenarios``.
+    description: ClassVar[str] = ""
+
+    # -- ground structure ---------------------------------------------
+    def ground_model(self, model: str) -> GroundModel:
+        """The ground structure this scenario runs on.
+
+        The default keeps the named paper model untouched; scenarios
+        with their own stratigraphy derive from it (so the ``model``
+        axis still selects the surrounding structure).
+        """
+        if model not in GROUND_MODELS:
+            raise ValueError(
+                f"unknown ground model {model!r}; choose from {sorted(GROUND_MODELS)}"
+            )
+        return GROUND_MODELS[model]()
+
+    def build_problem(
+        self,
+        model: str,
+        resolution: tuple[int, int, int],
+        dt: float | None = None,
+    ) -> ElasticProblem:
+        """Mesh + assemble the scenario's problem (same discretization
+        conventions as :func:`~repro.workloads.ground.build_ground_problem`)."""
+        return build_ground_problem(
+            self.ground_model(model), resolution=tuple(resolution), dt=dt
+        )
+
+    # -- source process -----------------------------------------------
+    @abc.abstractmethod
+    def case_force(
+        self,
+        problem: ElasticProblem,
+        wave: dict,
+        rng: np.random.Generator,
+    ) -> Callable[[int], np.ndarray]:
+        """One ensemble case's forcing ``f(it) -> (n_dofs,)``."""
+
+    def forces(
+        self,
+        problem: ElasticProblem,
+        wave,
+        seed: int,
+        n_cases: int,
+    ) -> list[Callable[[int], np.ndarray]]:
+        """``n_cases`` independent forcings from one content-derived
+        seed — the same :func:`~repro.util.rng.spawn_rngs` streams the
+        campaign executor always used, so case ``i`` is identical
+        regardless of ensemble size or worker placement."""
+        w = wave_params(wave)
+        return [
+            self.case_force(problem, w, rng) for rng in spawn_rngs(seed, n_cases)
+        ]
+
+
+@register_scenario
+class ImpulseScenario(Scenario):
+    """The paper's random-input workload (§3.1), unchanged.
+
+    A band-limited random surface impulse per case: random surface
+    nodes pushed in random directions with a Ricker source-time
+    function whose center frequency tracks the time step
+    (``f0 = f0_factor / (pi dt)``).  This is the pre-registry default
+    path bit-for-bit — its campaign cells hash to the pre-axis keys.
+    """
+
+    name = "impulse"
+    description = (
+        "band-limited random surface impulse, free vibration after onset "
+        "(the paper's random-input ensemble)"
+    )
+
+    def case_force(self, problem, wave, rng):
+        return BandlimitedImpulse.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"],
+            f0=wave["f0_factor"] / (np.pi * problem.dt),
+            cycles_to_onset=wave["cycles_to_onset"],
+        )

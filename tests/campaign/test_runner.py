@@ -108,7 +108,7 @@ def test_report_tables(tiny_spec, tmp_path):
     assert by_m["crs-cg@gpu"]["n_cells"] == 1
     assert by_m["crs-cg@gpu"]["elapsed_per_step_per_case_s"] > 0
     by_s = rep.by_scenario()
-    assert ("stratified", "w0") in by_s
+    assert ("impulse", "stratified", "w0") in by_s
 
 
 def test_report_separates_part_counts(tmp_path):

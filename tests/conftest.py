@@ -1,7 +1,14 @@
-"""Shared fixtures: small meshes/problems reused across the suite.
+"""Shared fixtures: small meshes/problems/forces reused across the suite.
 
 Session-scoped where construction is expensive; tests must not mutate
-them (mutating tests build their own).
+them (mutating tests build their own).  The force/scenario builders
+live here — not copy-pasted per test dir — so scenario tests across
+``tests/core``, ``tests/workloads``, ``tests/campaign`` and
+``tests/golden`` all drive the identical case sets.
+
+Also owns the ``--regen-golden`` flag: ``pytest tests/golden
+--regen-golden`` rewrites the committed golden fixtures instead of
+comparing against them.
 """
 
 from __future__ import annotations
@@ -9,9 +16,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.waves import BandlimitedImpulse
 from repro.core.problem import ElasticProblem, build_problem
 from repro.fem.mesh import Tet10Mesh, structured_box
 from repro.workloads.ground import stratified_model
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden regression fixtures "
+             "(tests/golden) instead of asserting against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    return bool(request.config.getoption("--regen-golden"))
 
 
 @pytest.fixture(scope="session")
@@ -52,3 +75,51 @@ def ground_problem() -> ElasticProblem:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+# ---------------------------------------------------------------- forces
+@pytest.fixture(scope="session")
+def make_forces():
+    """Shared ensemble-force builder (band-limited impulses, one rng
+    stream per case) — the case-set builder every pipeline/partitioned/
+    scenario test uses instead of rolling its own."""
+
+    def build(problem: ElasticProblem, n: int, seed0: int = 0,
+              amplitude: float = 1e6) -> list[BandlimitedImpulse]:
+        return [
+            BandlimitedImpulse.random(
+                problem.mesh, problem.dt, rng=seed0 + i, amplitude=amplitude
+            )
+            for i in range(n)
+        ]
+
+    return build
+
+
+# -------------------------------------------------------------- scenarios
+@pytest.fixture(scope="session")
+def default_wave() -> dict:
+    """The campaign's ``w0`` wave family as the plain dict scenarios
+    consume."""
+    return {"amplitude": 1e6, "f0_factor": 0.3, "cycles_to_onset": 1.0}
+
+
+@pytest.fixture(scope="session")
+def scenario_problem():
+    """Session-cached tiny problems per registered scenario, so the
+    per-scenario test files (unit, property, golden) don't rebuild —
+    or worse, each re-invent — the same discretization."""
+    from repro.workloads.scenario import scenario_by_name
+
+    cache: dict[tuple, ElasticProblem] = {}
+
+    def get(name: str, model: str = "stratified",
+            resolution: tuple[int, int, int] = (2, 2, 1)) -> ElasticProblem:
+        key = (name, model, tuple(resolution))
+        if key not in cache:
+            cache[key] = scenario_by_name(name)().build_problem(
+                model, tuple(resolution)
+            )
+        return cache[key]
+
+    return get

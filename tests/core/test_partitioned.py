@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.analysis.waves import BandlimitedImpulse
 from repro.core.methods import run_method
 from repro.core.partitioned import PartitionedCaseSet
 from repro.core.pipeline import CaseSet
@@ -12,12 +11,6 @@ from repro.hardware.transfer import TransferModel
 from repro.predictor.datadriven import DataDrivenPredictor
 
 
-def make_forces(problem, n, seed0=0):
-    return [
-        BandlimitedImpulse.random(problem.mesh, problem.dt, rng=seed0 + i,
-                                  amplitude=1e6)
-        for i in range(n)
-    ]
 
 
 def make_predictors(problem, n, s=4):
@@ -33,7 +26,7 @@ def advance(cs, nt):
         cs.solve(it, g)
 
 
-def test_matches_fused_case_set(ground_problem):
+def test_matches_fused_case_set(ground_problem, make_forces):
     """The partitioned Newmark loop reproduces the fused EBE loop to
     solver rounding — the accuracy guarantee survives distribution."""
     f1 = make_forces(ground_problem, 2, seed0=0)
@@ -52,14 +45,14 @@ def test_matches_fused_case_set(ground_problem):
     np.testing.assert_allclose(u_p, u_f, rtol=0, atol=1e-9 * scale)
 
 
-def test_requires_ebe(ground_problem):
+def test_requires_ebe(ground_problem, make_forces):
     with pytest.raises(ValueError):
         PartitionedCaseSet(ground_problem, forces=make_forces(ground_problem, 2),
                            predictors=make_predictors(ground_problem, 2),
                            op_kind="crs", nparts=2)
 
 
-def test_single_part_has_no_comm(ground_problem):
+def test_single_part_has_no_comm(ground_problem, make_forces):
     cs = PartitionedCaseSet(ground_problem, forces=make_forces(ground_problem, 2),
                             predictors=make_predictors(ground_problem, 2),
                             op_kind="ebe", nparts=1)
@@ -69,7 +62,7 @@ def test_single_part_has_no_comm(ground_problem):
     assert cs.part_time_fraction == 1.0
 
 
-def test_comm_time_positive_and_counts_iterations(ground_problem):
+def test_comm_time_positive_and_counts_iterations(ground_problem, make_forces):
     cs = PartitionedCaseSet(ground_problem, forces=make_forces(ground_problem, 2),
                             predictors=make_predictors(ground_problem, 2),
                             op_kind="ebe", nparts=4,
@@ -84,7 +77,7 @@ def test_comm_time_positive_and_counts_iterations(ground_problem):
     assert cs.comm_time(Fake()) > t
 
 
-def test_part_time_fraction_shrinks_with_parts(ground_problem):
+def test_part_time_fraction_shrinks_with_parts(ground_problem, make_forces):
     def frac(nparts):
         cs = PartitionedCaseSet(
             ground_problem, forces=make_forces(ground_problem, 2),
@@ -98,7 +91,7 @@ def test_part_time_fraction_shrinks_with_parts(ground_problem):
     assert f8 >= 1.0 / 8.0  # can never beat a perfect split
 
 
-def test_run_method_distributed(ground_problem):
+def test_run_method_distributed(ground_problem, make_forces):
     """run_method(nparts=4) matches the fused run to rounding and
     charges halo time on the nic lane."""
     f1 = make_forces(ground_problem, 4, seed0=7)
@@ -121,7 +114,7 @@ def test_run_method_distributed(ground_problem):
             < sum(r.t_solver for r in fused.records))
 
 
-def test_run_method_rejects_unpartitionable(ground_problem):
+def test_run_method_rejects_unpartitionable(ground_problem, make_forces):
     forces = make_forces(ground_problem, 2)
     with pytest.raises(ValueError):
         run_method(ground_problem, forces, nt=1, method="crs-cg@gpu", nparts=2)
@@ -130,7 +123,7 @@ def test_run_method_rejects_unpartitionable(ground_problem):
                    nparts=0)
 
 
-def test_partitioned_precision_halo_and_solve(ground_problem):
+def test_partitioned_precision_halo_and_solve(ground_problem, make_forces):
     """A fp21 partitioned set builds a fp21-storage operator, charges
     storage-width halo bytes, and still solves to eps."""
     from repro.sparse.precision import FP21
@@ -160,7 +153,7 @@ def test_partitioned_precision_halo_and_solve(ground_problem):
         assert cs.comm_time(res) < ref.comm_time(res2)
 
 
-def test_shared_dist_precision_mismatch_rejected(ground_problem):
+def test_shared_dist_precision_mismatch_rejected(ground_problem, make_forces):
     from repro.cluster.halo import DistributedEBE
     from repro.cluster.partition import PartitionInfo, partition_elements
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.analysis.waves import BandlimitedImpulse
 from repro.core.pipeline import CaseSet, HeterogeneousPipeline
 from repro.hardware.power import PowerModel
 from repro.hardware.roofline import DeviceModel
@@ -13,11 +12,6 @@ from repro.predictor.adaptive import AdaptiveSController
 from repro.predictor.datadriven import DataDrivenPredictor
 
 
-def make_forces(problem, n, seed0=0):
-    return [
-        BandlimitedImpulse.random(problem.mesh, problem.dt, rng=seed0 + i, amplitude=1e6)
-        for i in range(n)
-    ]
 
 
 def make_set(problem, forces, s=6):
@@ -42,7 +36,7 @@ def make_pipeline(problem, forces, module=SINGLE_GH200, controller=None):
 
 
 @pytest.fixture(scope="module")
-def pipeline_run(ground_problem):
+def pipeline_run(ground_problem, make_forces):
     forces = make_forces(ground_problem, 4)
     pipe = make_pipeline(ground_problem, forces)
     pipe.run(12)
@@ -99,7 +93,7 @@ def test_records_complete(pipeline_run):
         assert r.t_transfer > 0
 
 
-def test_controller_drives_s(ground_problem):
+def test_controller_drives_s(ground_problem, make_forces):
     forces = make_forces(ground_problem, 4, seed0=10)
     ctrl = AdaptiveSController(s_min=2, s_max=8, step=2)
     pipe = make_pipeline(ground_problem, forces, controller=ctrl)
@@ -109,7 +103,7 @@ def test_controller_drives_s(ground_problem):
         assert p.s == ctrl.s
 
 
-def test_alps_throttling_slows_solver(ground_problem):
+def test_alps_throttling_slows_solver(ground_problem, make_forces):
     """Same problem on Alps (634 W cap) must show a longer modeled
     solver time than on the uncapped single-GH200 module."""
     f1 = make_forces(ground_problem, 4, seed0=20)
@@ -123,7 +117,7 @@ def test_alps_throttling_slows_solver(ground_problem):
     assert t_b > t_a
 
 
-def test_waveform_recording(ground_problem):
+def test_waveform_recording(ground_problem, make_forces):
     forces = make_forces(ground_problem, 4, seed0=30)
     pipe = make_pipeline(ground_problem, forces)
     pipe.waveform_dofs = np.array([0, 5, 10])
@@ -132,7 +126,7 @@ def test_waveform_recording(ground_problem):
     assert w.shape == (4, 5, 3)
 
 
-def test_resume_matches_single_run(ground_problem):
+def test_resume_matches_single_run(ground_problem, make_forces):
     """run(nt); run(nt) continues the schedule: identical records and
     makespan to run(2*nt) — no re-bootstrap, no double-charged
     predictor, no predict-without-observe."""
@@ -162,7 +156,7 @@ def test_resume_matches_single_run(ground_problem):
         )
 
 
-def test_resume_bootstraps_only_once(ground_problem):
+def test_resume_bootstraps_only_once(ground_problem, make_forces):
     """The set-B bootstrap prediction happens on the first run only:
     cpu-lane predictor intervals are 1 (bootstrap) + 2 per step."""
     pipe = make_pipeline(ground_problem, make_forces(ground_problem, 4, seed0=41))
@@ -175,7 +169,7 @@ def test_resume_bootstraps_only_once(ground_problem):
     assert n_pred == 1 + 2 * 5
 
 
-def test_s_used_recorded_per_set_at_predict_time(ground_problem):
+def test_s_used_recorded_per_set_at_predict_time(ground_problem, make_forces):
     """records carry the s each set's consumed prediction actually
     used — set B's guess predates the end-of-step controller update,
     so after a controller change the two sets legitimately differ."""

@@ -1,0 +1,124 @@
+"""Golden regression harness: committed per-scenario fp64 summaries.
+
+Each registered scenario runs one small, fully deterministic ensemble
+through the campaign executor; the resulting summary (iteration
+counts, residuals, windowed means, whole-run timeline totals) is
+compared **bit-for-bit** against the committed fixture under
+``tests/golden/fixtures/``.  fp64 runs are deterministic by
+construction (content-derived seeds, canonical-order reductions), so
+any numeric drift anywhere in the stack — FEM assembly, solver,
+predictor, hardware model — fails tier-1 here with the exact leaf
+that moved.
+
+After an *intentional* numeric change, regenerate with::
+
+    pytest tests/golden --regen-golden
+
+and commit the fixture diff alongside the change that caused it.
+
+The contract is per-environment: fp64 reductions flow through BLAS
+kernels whose summation order can differ across BLAS builds/SIMD
+levels, so CI pins single-threaded BLAS (see ci.yml) and a fixture
+mismatch on a *new* machine with an all-leaves-tiny diff means
+"regenerate here once", not "the code drifted".
+"""
+
+import pathlib
+
+import pytest
+
+from repro.campaign.runner import run_method_cell
+from repro.campaign.spec import WaveSpec, cell_key, method_cell_params
+from repro.io.golden import canonical, golden_diff, load_golden, save_golden
+from repro.workloads.scenario import scenario_names
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: One small-but-real pipelined ensemble per scenario: heterogeneous
+#: method (both predictors and the adaptive controller engaged), fp64
+#: only — reduced precisions are deliberately excluded from the
+#: bit-stability contract (their numerics are covered statistically
+#: elsewhere).  The mesh is just big enough that the layered-basin
+#: bowl captures elements, and the fast wave (``f0_factor=1``) pulls
+#: the second aftershock inside the run, so no two scenarios pin the
+#: same numbers (asserted below).
+GOLDEN_KW = dict(
+    cases=2, steps=18, module="single-gh200", eps=1e-8,
+    s_min=2, s_max=4, seed=0,
+)
+GOLDEN_WAVE = WaveSpec(name="w0", f0_factor=1.0)
+GOLDEN_RESOLUTION = (3, 3, 2)
+
+
+def golden_params(scenario: str) -> dict:
+    params, _ = method_cell_params(
+        "stratified", GOLDEN_WAVE, "ebe-mcg@cpu-gpu", GOLDEN_RESOLUTION,
+        scenario=scenario, **GOLDEN_KW,
+    )
+    return params
+
+
+def fixture_path(scenario: str) -> pathlib.Path:
+    return FIXTURES / f"{scenario}.json"
+
+
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_scenario_summary_bit_stable(scenario, regen_golden):
+    params = golden_params(scenario)
+    doc = {
+        "cell_key": cell_key("method", params),
+        "params": params,
+        "result": run_method_cell(dict(params)),
+    }
+    path = fixture_path(scenario)
+    if regen_golden:
+        save_golden(doc, path)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with "
+            f"`pytest tests/golden --regen-golden` and commit the file"
+        )
+    diff = golden_diff(load_golden(path), canonical(doc))
+    assert not diff, (
+        "golden summary drifted (bit-stability contract):\n  "
+        + "\n  ".join(diff)
+        + "\nif the change is intentional, regenerate with "
+        "`pytest tests/golden --regen-golden` and commit the fixtures"
+    )
+
+
+def test_fixture_set_matches_registry(regen_golden):
+    """Every registered scenario has exactly one committed fixture —
+    adding a scenario without pinning its numbers is an error, and
+    stale fixtures don't linger after a rename."""
+    if regen_golden:
+        pytest.skip("fixtures are being regenerated")
+    have = {p.stem for p in FIXTURES.glob("*.json")}
+    assert have == set(scenario_names())
+
+
+def test_fixtures_pairwise_distinct(regen_golden):
+    """No two scenarios pin the same numbers — each fixture guards its
+    own physics, not a shared copy of the impulse run."""
+    if regen_golden:
+        pytest.skip("fixtures are being regenerated")
+    summaries = {
+        s: load_golden(fixture_path(s))["result"]["summary"]
+        for s in scenario_names()
+    }
+    names = list(summaries)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            assert summaries[a] != summaries[b], (a, b)
+
+
+def test_golden_cell_key_matches_campaign_cache(regen_golden):
+    """The pinned cell_key is the ResultStore cache key for the same
+    parameters, so a golden fixture doubles as a frozen store artifact
+    schema: drift in the hashing itself is caught too."""
+    if regen_golden:
+        pytest.skip("fixtures are being regenerated")
+    for scenario in scenario_names():
+        doc = load_golden(fixture_path(scenario))
+        assert doc["cell_key"] == cell_key("method", doc["params"])

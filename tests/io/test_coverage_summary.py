@@ -1,0 +1,61 @@
+"""The CI coverage-table renderer (tools/coverage_summary.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+spec = importlib.util.spec_from_file_location(
+    "coverage_summary", REPO / "tools" / "coverage_summary.py"
+)
+cov = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(cov)
+
+
+def make_doc():
+    return {
+        "files": {
+            "src/repro/cli.py": {
+                "summary": {"covered_lines": 90, "num_statements": 100}
+            },
+            "src/repro/sparse/cg.py": {
+                "summary": {"covered_lines": 50, "num_statements": 50}
+            },
+            "src/repro/sparse/ebe.py": {
+                "summary": {"covered_lines": 25, "num_statements": 50}
+            },
+        }
+    }
+
+
+def test_package_rows_aggregates_and_totals():
+    rows = cov.package_rows(make_doc())
+    assert rows[-1] == ("TOTAL", 165, 200, 82.5)
+    by_pkg = {r[0]: r for r in rows}
+    assert by_pkg["repro/sparse"][1:] == (75, 100, 75.0)
+    assert by_pkg["repro/(root)"][1:] == (90, 100, 90.0)
+
+
+def test_render_markdown_table():
+    text = cov.render_markdown(make_doc())
+    assert "## Coverage by package" in text
+    assert "| `repro/sparse` | 75 | 100 | 75.0 |" in text
+    assert "| **TOTAL** | 165 | 200 | 82.5 |" in text
+
+
+def test_cli_entrypoint(tmp_path, capsys):
+    path = tmp_path / "coverage.json"
+    path.write_text(json.dumps(make_doc()))
+    assert cov.main([str(path)]) == 0
+    assert "TOTAL" in capsys.readouterr().out
+    assert cov.main([]) == 2
+
+
+def test_windows_paths_and_empty():
+    doc = {"files": {
+        "src\\repro\\util\\rng.py": {
+            "summary": {"covered_lines": 1, "num_statements": 2}},
+    }}
+    rows = cov.package_rows(doc)
+    assert rows[0][0] == "repro/util"
+    assert cov.package_rows({"files": {}}) == [("TOTAL", 0, 0, 100.0)]

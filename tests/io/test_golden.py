@@ -1,0 +1,78 @@
+"""Golden fixture io: canonical projection, persistence, exact diff."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.golden import canonical, golden_diff, load_golden, save_golden
+
+
+def test_canonical_projects_numpy_into_json_domain():
+    doc = {
+        "a": np.float64(1.5),
+        "b": np.int32(3),
+        "c": np.array([1.0, 2.0]),
+        "d": (4, 5),
+    }
+    out = canonical(doc)
+    assert out == {"a": 1.5, "b": 3, "c": [1.0, 2.0], "d": [4, 5]}
+    assert isinstance(out["a"], float) and isinstance(out["b"], int)
+
+
+def test_save_load_roundtrip_is_exact(tmp_path):
+    doc = {"x": 0.1 + 0.2, "nested": {"iters": [3, 5, 8], "t": 1e-300}}
+    path = save_golden(doc, tmp_path / "g.json")
+    assert load_golden(path) == canonical(doc)
+    # bit-exact: the awkward float survives repr round-tripping
+    assert load_golden(path)["x"] == 0.1 + 0.2
+
+
+def test_save_golden_sorted_and_stable(tmp_path):
+    p1 = save_golden({"b": 1, "a": 2}, tmp_path / "1.json")
+    p2 = save_golden({"a": 2, "b": 1}, tmp_path / "2.json")
+    assert p1.read_text() == p2.read_text()  # clean review diffs
+
+
+def test_load_rejects_schema_mismatch(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 999, "x": 1}))
+    with pytest.raises(ValueError, match="unsupported golden schema"):
+        load_golden(bad)
+
+
+def test_diff_empty_on_identical():
+    doc = {"a": [1.0, {"b": float("nan")}], "c": "s"}
+    assert golden_diff(doc, json.loads(json.dumps(doc))) == []
+
+
+def test_diff_reports_leaf_paths():
+    exp = {"summary": {"iters": 30.0, "relres": 1e-9}, "steps": [1, 2, 3]}
+    act = {"summary": {"iters": 30.5, "relres": 1e-9}, "steps": [1, 2, 4]}
+    diff = golden_diff(exp, act)
+    assert any("$.summary.iters" in d for d in diff)
+    assert any("$.steps[2]" in d for d in diff)
+    assert len(diff) == 2
+
+
+def test_diff_bit_exact_on_floats():
+    a, b = 1.0, 1.0 + 2**-52
+    assert golden_diff({"x": a}, {"x": a}) == []
+    assert golden_diff({"x": a}, {"x": b}) != []
+
+
+def test_diff_nan_equals_nan():
+    assert golden_diff({"x": float("nan")}, {"x": float("nan")}) == []
+    assert golden_diff({"x": float("nan")}, {"x": 1.0}) != []
+
+
+def test_diff_missing_and_unexpected_keys():
+    diff = golden_diff({"a": 1, "b": 2}, {"a": 1, "c": 3})
+    assert any("$.b: missing key" in d for d in diff)
+    assert any("$.c: unexpected key" in d for d in diff)
+
+
+def test_diff_type_and_shape_mismatches():
+    assert golden_diff({"a": [1]}, {"a": [1, 2]}) == ["$.a: length 1 != 2"]
+    assert golden_diff({"a": {}}, {"a": []}) == ["$.a: type dict != list"]
+    assert golden_diff(1, 1.0) != []  # int vs float is drift, not equality

@@ -19,6 +19,16 @@ def test_models_command(capsys):
         assert name in out
 
 
+def test_scenarios_command(capsys):
+    from repro.workloads.scenario import scenario_names
+
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+    assert "aftershock" in out  # descriptions printed too
+
+
 def test_info_command(capsys):
     assert main(["info", "--model", "basin", "--resolution", "2,2,1"]) == 0
     out = capsys.readouterr().out
@@ -69,6 +79,18 @@ def test_sensitivity_command(capsys):
     assert "speedup" in out
 
 
+def test_run_scenario_flag(capsys):
+    rc = main([
+        "run", "--model", "basin", "--resolution", "2,2,1",
+        "--method", "ebe-mcg@cpu-gpu", "--cases", "2", "--steps", "4",
+        "--s-min", "2", "--s-max", "4", "--scenario", "aftershocks",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "aftershocks scenario" in out
+    assert "elapsed_per_step_per_case_s" in out
+
+
 def test_bad_inputs():
     with pytest.raises(SystemExit):
         main(["run", "--model", "mars", "--resolution", "2,2,1", "--steps", "1"])
@@ -76,6 +98,8 @@ def test_bad_inputs():
         main(["run", "--resolution", "2,2", "--steps", "1"])
     with pytest.raises(SystemExit):
         main(["run", "--resolution", "2,2,1", "--method", "magic"])
+    with pytest.raises(SystemExit):  # argparse rejects unknown scenarios
+        main(["run", "--resolution", "2,2,1", "--scenario", "marsquake"])
 
 
 # ------------------------------------------------------------ campaign
@@ -237,3 +261,48 @@ def test_campaign_bad_precision_rejected(tmp_path):
         main(["campaign", "--models", "stratified", "--waves", "1",
               "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
               "--precision", "fp64,fp7", "--no-store"])
+
+
+# --------------------------------------------------------- scenarios
+def test_campaign_scenario_axis(capsys, tmp_path):
+    """--scenario fans the grid over registered workloads; the
+    per-scenario table separates them and the store caches each."""
+    store = tmp_path / "store"
+    args = [
+        "campaign", "--models", "stratified", "--waves", "1",
+        "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
+        "--cases", "1", "--steps", "3",
+        "--scenario", "impulse,soft-soil,fault-rupture",
+        "--store", str(store),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "3 cells" in out
+    assert "scenarios impulse,soft-soil,fault-rupture" in out
+    assert "per-scenario summary" in out
+    for name in ("impulse", "soft-soil", "fault-rupture"):
+        assert name in out
+    # identical grid re-run: all cache hits
+    assert main(args) == 0
+    assert "3 cache hits" in capsys.readouterr().out
+
+
+def test_campaign_scenario_composes_with_precision(capsys, tmp_path):
+    rc = main([
+        "campaign", "--models", "stratified", "--waves", "1",
+        "--methods", "ebe-mcg@cpu-gpu", "--resolutions", "2,2,1",
+        "--cases", "2", "--steps", "3",
+        "--scenario", "impulse,aftershocks", "--precision", "fp64,fp21",
+        "--store", str(tmp_path / "store"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4 cells" in out
+    assert "aftershocks" in out and "transprecision summary" in out
+
+
+def test_campaign_bad_scenario_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="bad campaign grid"):
+        main(["campaign", "--models", "stratified", "--waves", "1",
+              "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
+              "--scenario", "impulse,marsquake", "--no-store"])

@@ -1,0 +1,104 @@
+"""Property tests over every registered scenario (hypothesis).
+
+The invariants the registry contract promises for *any* scenario,
+present or future: finite forcing, bit determinism under a fixed
+seed, registry round-trips and loud unknown-name failures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.scenario import (
+    scenario_by_name,
+    scenario_names,
+)
+
+ALL = scenario_names()
+
+common = settings(
+    deadline=None,
+    max_examples=10,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_forces_finite(name, seed, scenario_problem, default_wave):
+    problem = scenario_problem(name)
+    fs = scenario_by_name(name)().forces(problem, default_wave, seed, 2)
+    assert len(fs) == 2
+    for f in fs:
+        for it in (1, 2, 5, 9):
+            v = f(it)
+            assert v.shape == (problem.n_dofs,)
+            assert np.isfinite(v).all()
+
+
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_forces_deterministic_under_seed(name, seed, scenario_problem,
+                                         default_wave):
+    """Same seed -> bit-identical forcing: the invariant the campaign
+    content hashes and the golden fixtures both stand on."""
+    problem = scenario_problem(name)
+    scen = scenario_by_name(name)()
+    fa = scen.forces(problem, default_wave, seed, 2)
+    fb = scen.forces(problem, default_wave, seed, 2)
+    for f, g in zip(fa, fb):
+        for it in (1, 3, 7):
+            np.testing.assert_array_equal(f(it), g(it))
+
+
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_case_streams_independent_of_ensemble_size(name, seed,
+                                                   scenario_problem,
+                                                   default_wave):
+    """Case i's forcing is identical whether the ensemble has 2 or 4
+    members (spawned streams, not a shared sequence)."""
+    problem = scenario_problem(name)
+    scen = scenario_by_name(name)()
+    small = scen.forces(problem, default_wave, seed, 2)
+    large = scen.forces(problem, default_wave, seed, 4)
+    for f, g in zip(small, large):
+        np.testing.assert_array_equal(f(2), g(2))
+
+
+@given(name=st.sampled_from(ALL))
+@settings(deadline=None)
+def test_registry_round_trip(name):
+    s = scenario_by_name(name)()
+    assert scenario_by_name(s.name) is type(s)
+    assert s.name == name
+
+
+@given(bogus=st.text(min_size=1, max_size=20))
+@settings(deadline=None, max_examples=25)
+def test_unknown_names_always_loud(bogus):
+    if bogus in ALL:
+        return
+    with pytest.raises(ValueError, match="unknown scenario"):
+        scenario_by_name(bogus)
+
+
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(amp=st.floats(min_value=1e3, max_value=1e9))
+def test_forcing_scales_linearly_with_amplitude(name, amp, scenario_problem,
+                                                default_wave):
+    """Wave amplitude is a pure scale knob for every library scenario —
+    the property that makes the campaign's wave families comparable
+    across scenarios."""
+    problem = scenario_problem(name)
+    scen = scenario_by_name(name)()
+    base = scen.forces(problem, default_wave, 5, 1)[0]
+    scaled = scen.forces(problem, dict(default_wave, amplitude=amp), 5, 1)[0]
+    ratio = amp / default_wave["amplitude"]
+    for it in (1, 4):
+        np.testing.assert_allclose(scaled(it), ratio * base(it), rtol=1e-12)

@@ -1,0 +1,246 @@
+"""Scenario registry and the physics of each library workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GROUND_MODELS,
+    AftershockSequence,
+    KinematicRuptureForce,
+    layered_basin_model,
+    soft_soil_model,
+    stratified_model,
+)
+from repro.workloads.library import BASIN_FILL, SOFT_SOIL
+from repro.workloads.scenario import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    ImpulseScenario,
+    Scenario,
+    register_scenario,
+    scenario_by_name,
+    scenario_names,
+)
+
+NEW_SCENARIOS = {"layered-basin", "fault-rupture", "soft-soil", "aftershocks"}
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_contents():
+    assert DEFAULT_SCENARIO in SCENARIOS
+    assert NEW_SCENARIOS <= set(SCENARIOS)
+    assert len(SCENARIOS) >= 5
+
+
+def test_scenario_names_deterministic_default_first():
+    names = scenario_names()
+    assert names[0] == DEFAULT_SCENARIO
+    assert list(names[1:]) == sorted(names[1:])
+    assert scenario_names() == names
+
+
+def test_round_trip():
+    for name in scenario_names():
+        s = scenario_by_name(name)()
+        assert scenario_by_name(s.name) is type(s)
+        assert s.description  # every scenario documents its physics
+
+
+def test_unknown_name_is_loud():
+    with pytest.raises(ValueError, match="unknown scenario 'marsquake'"):
+        scenario_by_name("marsquake")
+
+
+def test_register_rejects_anonymous_and_collisions():
+    class Nameless(ImpulseScenario):
+        name = ""
+
+    with pytest.raises(ValueError, match="has no name"):
+        register_scenario(Nameless)
+
+    class Impostor(ImpulseScenario):
+        name = DEFAULT_SCENARIO
+
+    with pytest.raises(ValueError, match="already registered"):
+        register_scenario(Impostor)
+    # re-registering the same class is idempotent (module reloads)
+    assert register_scenario(SCENARIOS[DEFAULT_SCENARIO]) is SCENARIOS[
+        DEFAULT_SCENARIO
+    ]
+
+
+def test_unknown_ground_model_is_loud():
+    with pytest.raises(ValueError, match="unknown ground model"):
+        scenario_by_name(DEFAULT_SCENARIO)().build_problem("mars", (2, 2, 1))
+
+
+@pytest.mark.parametrize("name", sorted(NEW_SCENARIOS))
+@pytest.mark.parametrize("model", sorted(GROUND_MODELS))
+def test_every_scenario_builds_on_every_model(name, model, scenario_problem):
+    p = scenario_problem(name, model=model)
+    assert p.n_dofs > 0 and p.dt > 0
+
+
+# ----------------------------------------------------------- ground models
+def test_layered_basin_adds_third_material():
+    from repro.workloads.ground import build_ground_problem
+
+    m = layered_basin_model(stratified_model())
+    pb = build_ground_problem(m, resolution=(4, 4, 2))
+    _, _, vs = m.element_materials(pb.mesh)
+    mats = set(np.unique(vs).tolist())
+    assert BASIN_FILL.vs in mats
+    assert len(mats) == 3  # fill + sediment + bedrock
+    # the fill is confined to the central bowl
+    c = pb.mesh.element_centroids()
+    lx, ly, _ = m.dims
+    r = np.hypot(c[:, 0] - lx / 2, c[:, 1] - ly / 2)
+    assert r[vs == BASIN_FILL.vs].max() < r.max()
+
+
+def test_soft_soil_degrades_only_sediment():
+    base = stratified_model()
+    soft = soft_soil_model(base)
+    assert soft.soft == SOFT_SOIL
+    assert soft.hard == base.hard
+    # contrast is much stronger than the paper's baseline
+    assert soft.hard.vs / soft.soft.vs > base.hard.vs / base.soft.vs
+
+
+def test_soft_scenarios_amplify_response(scenario_problem):
+    """Degraded moduli mean a more compliant site: the same load
+    produces a larger static response than on the baseline sediment —
+    the amplification these scenarios exist to stress."""
+    from repro.sparse.cg import pcg
+
+    disp = {}
+    for name in (DEFAULT_SCENARIO, "soft-soil", "layered-basin"):
+        p = scenario_problem(name, resolution=(3, 3, 2))
+        b = np.zeros((p.n_dofs, 1))
+        surface = np.setdiff1d(
+            np.arange(p.n_dofs), p.fixed_dofs, assume_unique=False
+        )
+        b[surface[-30:], 0] = 1e6  # fixed surface load, identical for all
+        res = pcg(p.ebe_operator(), b, precond=p.preconditioner(), eps=1e-10)
+        disp[name] = float(np.linalg.norm(res.x))
+    assert disp["soft-soil"] > disp[DEFAULT_SCENARIO]
+    assert disp["layered-basin"] > disp[DEFAULT_SCENARIO]
+
+
+# ------------------------------------------------------------- rupture
+@pytest.fixture(scope="module")
+def rupture():
+    from repro.fem.mesh import structured_box
+
+    mesh = structured_box(4, 4, 2, 950.0, 950.0, 120.0)
+    return mesh, KinematicRuptureForce.random(
+        mesh, dt=0.01, rng=np.random.default_rng(5), amplitude=1e6,
+        f0=5.0, cycles_to_onset=1.0,
+    )
+
+
+def test_rupture_unzips_at_finite_velocity(rupture):
+    _, f = rupture
+    onsets = f.onsets
+    t0 = onsets.min()
+    # the rupture front takes multiple source periods to cross the fault
+    assert onsets.max() - t0 > 1.0 / f.f0
+    assert f.rupture_end > t0
+
+
+def test_rupture_is_a_shear_couple(rupture):
+    _, f = rupture
+    # slip-parallel forcing: all force vectors are colinear, signs mixed
+    norms = np.linalg.norm(f.vectors, axis=1)
+    unit = f.vectors / norms[:, None]
+    cos = unit @ unit[0]
+    assert np.allclose(np.abs(cos), 1.0)
+    assert (cos > 0).any() and (cos < 0).any()
+
+
+def test_rupture_forcing_nonstationary(rupture):
+    """The force pattern changes *shape* over time (a travelling
+    source), unlike the fixed-pattern impulse."""
+    _, f = rupture
+    its = np.arange(1, int(f.rupture_end / f.dt) + 2)
+    vals = np.stack([f(it) for it in its])
+    assert np.isfinite(vals).all()
+    active = vals[np.abs(vals).max(axis=1) > 0]
+    assert len(active) >= 2
+    a, b = active[0], active[-1]
+    cos = a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+    assert abs(cos) < 0.99  # not just one pattern rescaled
+
+
+# ----------------------------------------------------------- aftershocks
+@pytest.fixture(scope="module")
+def sequence():
+    from repro.fem.mesh import structured_box
+
+    mesh = structured_box(2, 2, 1, 950.0, 950.0, 120.0)
+    return AftershockSequence.random(
+        mesh, dt=0.01, rng=np.random.default_rng(11), amplitude=1e6,
+        f0=4.0, cycles_to_onset=1.0, n_aftershocks=2,
+    )
+
+
+def test_aftershock_sequence_has_quiescent_gaps(sequence):
+    windows = sequence.quiet_windows()
+    assert len(windows) == 2  # one gap per inter-event interval
+    for t_lo, t_hi in windows:
+        assert t_hi > t_lo
+        it = int(round((t_lo + t_hi) / 2 / sequence.dt))
+        quiet = np.abs(sequence(it)).max()
+        assert quiet < 1e-6 * np.abs(sequence.patterns).max()
+
+
+def test_aftershocks_decay_but_strike(sequence):
+    assert sequence.onsets.shape == (3,)
+    assert np.all(np.diff(sequence.onsets) > 2.0 / sequence.f0)
+    assert sequence.rel_amps[0] == 1.0
+    assert np.all(sequence.rel_amps[1:] < 1.0)
+    # each event actually delivers force at its onset
+    for k, t0 in enumerate(sequence.onsets):
+        it = int(round(t0 / sequence.dt))
+        assert np.abs(sequence(it)).max() > 0
+
+
+def test_aftershocks_relocate(sequence):
+    """Each event has its own spatial pattern (aftershocks are
+    off-mainshock events, not replays)."""
+    P = sequence.patterns
+    for a in range(P.shape[1]):
+        for b in range(a + 1, P.shape[1]):
+            assert not np.allclose(P[:, a], P[:, b])
+
+
+# ------------------------------------------------------------- protocol
+def test_custom_scenario_registration_and_cleanup(scenario_problem,
+                                                  default_wave):
+    """Third-party scenarios plug in through the same decorator."""
+
+    @register_scenario
+    class Doubled(ImpulseScenario):
+        name = "test-doubled"
+        description = "impulse at twice the amplitude (test only)"
+
+        def case_force(self, problem, wave, rng):
+            return super().case_force(
+                problem, dict(wave, amplitude=2 * wave["amplitude"]), rng
+            )
+
+    try:
+        assert scenario_by_name("test-doubled") is Doubled
+        assert "test-doubled" in scenario_names()
+        p = scenario_problem(DEFAULT_SCENARIO)
+        f2 = Doubled().forces(p, default_wave, seed=1, n_cases=1)[0]
+        f1 = ImpulseScenario().forces(p, default_wave, seed=1, n_cases=1)[0]
+        it = 2
+        np.testing.assert_allclose(f2(it), 2.0 * f1(it))
+    finally:
+        SCENARIOS.pop("test-doubled", None)
+
+
+def test_scenario_is_abstract():
+    with pytest.raises(TypeError):
+        Scenario()  # case_force is abstract

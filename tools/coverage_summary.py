@@ -1,0 +1,73 @@
+"""Render a per-package markdown coverage table from a coverage.json.
+
+Usage (the CI tier-1 job pipes this into the GitHub step summary)::
+
+    python tools/coverage_summary.py coverage.json >> "$GITHUB_STEP_SUMMARY"
+
+Consumes the ``coverage json`` report format (pytest-cov's
+``--cov-report=json``): per-file ``summary.covered_lines`` /
+``summary.num_statements``, aggregated here by top-level package under
+``repro/``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+__all__ = ["package_rows", "render_markdown", "main"]
+
+
+def package_rows(doc: dict) -> list[tuple[str, int, int, float]]:
+    """``(package, covered, statements, percent)`` per package, sorted,
+    with a TOTAL row last."""
+    per_pkg: dict[str, list[int]] = {}
+    for filename, data in doc.get("files", {}).items():
+        parts = pathlib.PurePosixPath(filename.replace("\\", "/")).parts
+        if "repro" in parts:
+            idx = parts.index("repro")
+            tail = parts[idx + 1:]
+            pkg = "repro/" + (tail[0] if len(tail) > 1 else "(root)")
+        else:
+            pkg = parts[0] if parts else "(unknown)"
+        s = data.get("summary", {})
+        acc = per_pkg.setdefault(pkg, [0, 0])
+        acc[0] += int(s.get("covered_lines", 0))
+        acc[1] += int(s.get("num_statements", 0))
+    rows = [
+        (pkg, c, n, 100.0 * c / n if n else 100.0)
+        for pkg, (c, n) in sorted(per_pkg.items())
+    ]
+    total_c = sum(r[1] for r in rows)
+    total_n = sum(r[2] for r in rows)
+    rows.append(
+        ("TOTAL", total_c, total_n, 100.0 * total_c / total_n if total_n else 100.0)
+    )
+    return rows
+
+
+def render_markdown(doc: dict) -> str:
+    lines = [
+        "## Coverage by package",
+        "",
+        "| package | covered | statements | % |",
+        "|---|---:|---:|---:|",
+    ]
+    for pkg, covered, statements, pct in package_rows(doc):
+        name = f"**{pkg}**" if pkg == "TOTAL" else f"`{pkg}`"
+        lines.append(f"| {name} | {covered} | {statements} | {pct:.1f} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: coverage_summary.py <coverage.json>", file=sys.stderr)
+        return 2
+    doc = json.loads(pathlib.Path(argv[0]).read_text())
+    print(render_markdown(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
