@@ -376,9 +376,11 @@ class CampaignSpec:
         return cls(**d)
 
     def to_json(self, path) -> pathlib.Path:
-        path = pathlib.Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=1))
-        return path
+        from repro.io.results import atomic_write_text
+
+        return atomic_write_text(
+            pathlib.Path(path), json.dumps(self.to_dict(), indent=1)
+        )
 
     @classmethod
     def from_json(cls, path) -> "CampaignSpec":

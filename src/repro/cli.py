@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result store directory (content-hash cache)")
     camp.add_argument("--no-store", action="store_true",
                       help="disable caching/persistence")
+    camp.add_argument("--checkpoint-every", type=int, default=0,
+                      help="flush a per-cell resume checkpoint to the store "
+                           "every K time steps (0 = never); a killed run "
+                           "then loses at most K steps of one cell")
+    camp.add_argument("--resume", action="store_true",
+                      help="resume interrupted cells from their store "
+                           "checkpoints instead of step 0 (finished cells "
+                           "are cache hits either way)")
     return p
 
 
@@ -296,9 +304,17 @@ def _cmd_campaign(args) -> int:
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.checkpoint_every < 0:
+        raise SystemExit("--checkpoint-every must be >= 0")
+    if args.no_store and (args.resume or args.checkpoint_every):
+        raise SystemExit(
+            "--resume/--checkpoint-every need the store; drop --no-store"
+        )
     spec = _campaign_spec(args)
     store = None if args.no_store else ResultStore(args.store)
-    report = CampaignRunner(store=store, jobs=args.jobs).run(spec)
+    report = CampaignRunner(
+        store=store, jobs=args.jobs, checkpoint_every=args.checkpoint_every,
+    ).run(spec, resume=args.resume)
     axes = (f"{len(spec.models)} models x {len(spec.waves)} waves x "
             f"{len(spec.methods)} methods x {len(spec.resolutions)} resolutions")
     if len(spec.nparts) > 1:

@@ -178,86 +178,213 @@ def estimate_memory(
     return cpu, gpu
 
 
-def _run_baseline(
-    problem: ElasticProblem,
-    forces: Sequence[Callable[[int], np.ndarray]],
+class _BaselineDriver:
+    """Algorithm 2 (AB predictor + CRS-CG on one device), restructured
+    as a resumable driver: ``run(nt)`` appends steps, and the full
+    numeric state (case sets, timeline, records) snapshots through
+    ``state_dict``/``load_state_dict`` so a checkpointed baseline run
+    resumes bit-identically — same contract as
+    :class:`~repro.core.pipeline.HeterogeneousPipeline`.
+    """
+
+    def __init__(
+        self,
+        problem: ElasticProblem,
+        forces: Sequence[Callable[[int], np.ndarray]],
+        module: ModuleSpec,
+        device: str,
+        eps: float,
+        waveform_dofs: np.ndarray | None,
+        precision: Precision,
+    ) -> None:
+        self.problem = problem
+        self.module = module
+        self.device = device
+        self.waveform_dofs = waveform_dofs
+        self.precision = precision
+        dev_spec = module.cpu if device == "cpu" else module.gpu
+        self.model = DeviceModel(dev_spec)
+        self.tl = Timeline()
+        self.records: list[StepRecord] = []
+        self.waves: list[np.ndarray] = []
+        self.sets = [
+            CaseSet(
+                problem,
+                forces=[f],
+                predictors=[AdamsBashforth(problem.n_dofs, problem.dt)],
+                op_kind="crs",
+                eps=eps,
+                precision=precision,
+            )
+            for f in forces
+        ]
+
+    def run(self, nt: int) -> None:
+        """Execute ``nt`` further time steps (appends to records)."""
+        tl = self.tl
+        start_step = self.records[-1].step + 1 if self.records else 1
+        for it in range(start_step, start_step + nt):
+            t0 = tl.makespan
+            iters = []
+            t_solve = t_pred = relres = 0.0
+            for cs in self.sets:
+                guess, tp = cs.predict(it)
+                res, ts = cs.solve(it, guess)
+                tp_t = self.model.time_for_tally(tp)
+                ts_t = self.model.time_for_tally(ts)
+                tl.schedule(self.device, "predictor", tp_t)
+                tl.schedule(self.device, "solver", ts_t)
+                t_pred += tp_t
+                t_solve += ts_t
+                iters.append(res.iterations)
+                relres = max(relres, float(res.final_relres.max()))
+            self.records.append(
+                StepRecord(
+                    step=it,
+                    iterations=np.concatenate(iters),
+                    t_solver=t_solve,
+                    t_predictor=t_pred,
+                    t_transfer=0.0,
+                    t_step=tl.makespan - t0,
+                    s_used=0,
+                    relres=relres,
+                )
+            )
+            if self.waveform_dofs is not None:
+                self.waves.append(
+                    np.stack(
+                        [cs.displacements()[self.waveform_dofs, 0]
+                         for cs in self.sets]
+                    )
+                )
+
+    # -- checkpoint/resume --------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "sets": [cs.state_dict() for cs in self.sets],
+            "timeline": self.tl.state_dict(),
+            "records": [r.to_dict() for r in self.records],
+            "waves": list(self.waves),
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        if len(doc["sets"]) != len(self.sets):
+            raise ValueError(
+                f"state has {len(doc['sets'])} cases, driver has "
+                f"{len(self.sets)}"
+            )
+        for cs, d in zip(self.sets, doc["sets"]):
+            cs.load_state_dict(d)
+        self.tl.load_state_dict(doc["timeline"])
+        self.records = [StepRecord.from_dict(d) for d in doc["records"]]
+        self.waves = [np.asarray(w, dtype=float) for w in doc["waves"]]
+
+    def result(self) -> RunResult:
+        n_cases = len(self.sets)
+        pm = PowerModel(
+            self.module,
+            cpu_load=1.0 if self.device == "cpu" else 0.0,
+            gpu_load=1.0,
+        )
+        power = energy_of_timeline(self.tl, pm)
+        cpu_mem, gpu_mem = estimate_memory(
+            self.problem, f"crs-cg@{self.device}", n_cases,
+            precision=self.precision,
+        )
+        return RunResult(
+            method=f"crs-cg@{self.device}",
+            module_name=self.module.name,
+            n_cases=n_cases,
+            n_dofs=self.problem.n_dofs,
+            records=self.records,
+            timeline=self.tl,
+            cpu_memory_bytes=cpu_mem,
+            gpu_memory_bytes=gpu_mem,
+            power=power,
+            final_states=[cs.states[0] for cs in self.sets],
+            waveforms=np.stack(self.waves, axis=1) if self.waves else None,
+        )
+
+
+class _PipelineDriver:
+    """Duck-type adapter giving :class:`HeterogeneousPipeline` the same
+    driver surface as :class:`_BaselineDriver` for the chunk loop."""
+
+    def __init__(self, pipe: HeterogeneousPipeline) -> None:
+        self.pipe = pipe
+
+    def run(self, nt: int) -> None:
+        self.pipe.run(nt)
+
+    def state_dict(self) -> dict:
+        return self.pipe.save_state().to_dict()
+
+    def load_state_dict(self, doc: dict) -> None:
+        self.pipe.load_state(doc)
+
+
+def _check_state_header(
+    state: dict, *, method: str, nparts: int, precision: Precision, nt: int
+) -> int:
+    """Validate a resume state against the run being started; returns
+    the completed step count.  Mismatches fail loudly — resuming a
+    checkpoint into a different method/nparts/precision configuration
+    would produce silently wrong numbers."""
+    for key, want in (
+        ("method", method),
+        ("nparts", int(nparts)),
+        ("precision", precision.name),
+    ):
+        if state.get(key) != want:
+            raise ValueError(
+                f"checkpoint {key} {state.get(key)!r} does not match "
+                f"this run ({want!r})"
+            )
+    step = int(state.get("step", -1))
+    if not 0 < step <= nt:
+        raise ValueError(
+            f"checkpoint step {state.get('step')!r} outside 1..{nt}"
+        )
+    return step
+
+
+def _run_chunks(
+    driver,
+    *,
     nt: int,
-    module: ModuleSpec,
-    device: str,
-    eps: float,
-    waveform_dofs: np.ndarray | None,
+    method: str,
+    nparts: int,
     precision: Precision,
-) -> RunResult:
-    """Algorithm 2: everything (AB predictor + CRS-CG) on one device."""
-    n_cases = len(forces)
-    dev_spec = module.cpu if device == "cpu" else module.gpu
-    model = DeviceModel(dev_spec)
-    tl = Timeline()
-    records: list[StepRecord] = []
-    waves: list[np.ndarray] = []
-
-    sets = [
-        CaseSet(
-            problem,
-            forces=[f],
-            predictors=[AdamsBashforth(problem.n_dofs, problem.dt)],
-            op_kind="crs",
-            eps=eps,
-            precision=precision,
+    start_state: dict | None,
+    checkpoint_every: int,
+    on_checkpoint: Callable[[dict], None] | None,
+) -> None:
+    """Drive ``nt`` total steps, optionally resuming from
+    ``start_state`` and flushing a state document to ``on_checkpoint``
+    every ``checkpoint_every`` completed steps.  Chunked execution is
+    numerically invisible: ``run(k); run(nt-k)`` is bit-identical to
+    ``run(nt)`` (the PR-2 resume contract both drivers honor)."""
+    done = 0
+    if start_state is not None:
+        done = _check_state_header(
+            start_state, method=method, nparts=nparts, precision=precision,
+            nt=nt,
         )
-        for f in forces
-    ]
-
-    for it in range(1, nt + 1):
-        t0 = tl.makespan
-        iters = []
-        t_solve = t_pred = relres = 0.0
-        for cs in sets:
-            guess, tp = cs.predict(it)
-            res, ts = cs.solve(it, guess)
-            tp_t = model.time_for_tally(tp)
-            ts_t = model.time_for_tally(ts)
-            tl.schedule(device, "predictor", tp_t)
-            tl.schedule(device, "solver", ts_t)
-            t_pred += tp_t
-            t_solve += ts_t
-            iters.append(res.iterations)
-            relres = max(relres, float(res.final_relres.max()))
-        records.append(
-            StepRecord(
-                step=it,
-                iterations=np.concatenate(iters),
-                t_solver=t_solve,
-                t_predictor=t_pred,
-                t_transfer=0.0,
-                t_step=tl.makespan - t0,
-                s_used=0,
-                relres=relres,
+        driver.load_state_dict(start_state["state"])
+    while done < nt:
+        k = nt - done if checkpoint_every < 1 else min(checkpoint_every, nt - done)
+        driver.run(k)
+        done += k
+        if on_checkpoint is not None and checkpoint_every >= 1 and done < nt:
+            on_checkpoint(
+                {
+                    "method": method,
+                    "nparts": int(nparts),
+                    "precision": precision.name,
+                    "step": done,
+                    "state": driver.state_dict(),
+                }
             )
-        )
-        if waveform_dofs is not None:
-            waves.append(
-                np.stack([cs.displacements()[waveform_dofs, 0] for cs in sets])
-            )
-
-    pm = PowerModel(module, cpu_load=1.0 if device == "cpu" else 0.0, gpu_load=1.0)
-    power = energy_of_timeline(tl, pm)
-    cpu_mem, gpu_mem = estimate_memory(
-        problem, f"crs-cg@{device}", n_cases, precision=precision
-    )
-    return RunResult(
-        method=f"crs-cg@{device}",
-        module_name=module.name,
-        n_cases=n_cases,
-        n_dofs=problem.n_dofs,
-        records=records,
-        timeline=tl,
-        cpu_memory_bytes=cpu_mem,
-        gpu_memory_bytes=gpu_mem,
-        power=power,
-        final_states=[cs.states[0] for cs in sets],
-        waveforms=np.stack(waves, axis=1) if waves else None,
-    )
 
 
 def _part_link(module: ModuleSpec) -> TransferModel:
@@ -281,6 +408,9 @@ def _run_heterogeneous(
     waveform_dofs: np.ndarray | None,
     nparts: int,
     precision: Precision,
+    start_state: dict | None,
+    checkpoint_every: int,
+    on_checkpoint: Callable[[dict], None] | None,
 ) -> RunResult:
     """Algorithms 3 (ebe) / 4 (crs): two sets, CPU/GPU overlapped.
 
@@ -356,9 +486,14 @@ def _run_heterogeneous(
         controller=AdaptiveSController(s_min=s_min, s_max=s_max),
         waveform_dofs=waveform_dofs,
     )
-    pipe.run(nt)
-
     method = "ebe-mcg@cpu-gpu" if op_kind == "ebe" else "crs-cg@cpu-gpu"
+    _run_chunks(
+        _PipelineDriver(pipe),
+        nt=nt, method=method, nparts=nparts, precision=precision,
+        start_state=start_state, checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+    )
+
     power = energy_of_timeline(pipe.timeline, pm)
     cpu_mem, gpu_mem = estimate_memory(
         problem, method, n_cases, s_max=s_max, precision=precision,
@@ -393,6 +528,9 @@ def run_method(
     waveform_dofs: np.ndarray | None = None,
     nparts: int = 1,
     precision: Precision | str | None = None,
+    start_state: dict | None = None,
+    checkpoint_every: int = 0,
+    on_checkpoint: Callable[[dict], None] | None = None,
 ) -> RunResult:
     """Run one of the paper's four methods for ``nt`` time steps.
 
@@ -422,6 +560,20 @@ def run_method(
         modeled — at this width; the time integration, predictors and
         CG recurrences stay fp64.  The fp64 default is bit-identical
         to the precision-unaware driver.
+    start_state : a state document produced by ``on_checkpoint`` (or
+        loaded via :func:`repro.io.results.load_pipeline_state`): the
+        run resumes from the checkpointed step and only executes the
+        remaining ones.  The resumed run's records, summary, timeline
+        and energy numbers are bit-identical to an uninterrupted run.
+        The document's method/nparts/precision header must match this
+        call; mismatches raise ``ValueError``.
+    checkpoint_every : flush a state document to ``on_checkpoint``
+        every this many completed steps (0 = never).  Checkpointing
+        does not perturb the numerics — chunked execution is
+        bit-identical to a straight ``nt``-step run.
+    on_checkpoint : callback receiving each intermediate state
+        document (JSON-able; persist with
+        :func:`repro.io.results.save_pipeline_state`).
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -435,16 +587,23 @@ def run_method(
             f"{PARTITIONABLE_METHODS}"
         )
     prec = as_precision(precision)
-    if method == "crs-cg@cpu":
-        return _run_baseline(
-            problem, forces, nt, module, "cpu", eps, waveform_dofs, prec
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be >= 0")
+    if method in ("crs-cg@cpu", "crs-cg@gpu"):
+        device = method.split("@", 1)[1]
+        driver = _BaselineDriver(
+            problem, forces, module, device, eps, waveform_dofs, prec
         )
-    if method == "crs-cg@gpu":
-        return _run_baseline(
-            problem, forces, nt, module, "gpu", eps, waveform_dofs, prec
+        _run_chunks(
+            driver,
+            nt=nt, method=method, nparts=nparts, precision=prec,
+            start_state=start_state, checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
         )
+        return driver.result()
     op_kind = "ebe" if method.startswith("ebe") else "crs"
     return _run_heterogeneous(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
         cpu_threads, waveform_dofs, nparts, prec,
+        start_state, checkpoint_every, on_checkpoint,
     )

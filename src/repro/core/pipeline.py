@@ -15,7 +15,7 @@ flops differently, nothing more); concurrency exists in the modeled
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -31,7 +31,7 @@ from repro.sparse.precision import Precision, as_precision
 from repro.util.counters import KernelTally, tally_scope
 from repro.util.timeline import Timeline
 
-__all__ = ["CaseSet", "HeterogeneousPipeline"]
+__all__ = ["CaseSet", "HeterogeneousPipeline", "PipelineState"]
 
 
 def _s_effective(cs: "CaseSet") -> int:
@@ -146,6 +146,73 @@ class CaseSet:
 
     def displacements(self) -> np.ndarray:
         return np.column_stack([s.u for s in self.states])
+
+    # -- checkpoint/resume --------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the set's numeric state: the Newmark
+        kinematics and each predictor's history.  Operators, the
+        preconditioner and the PCG workspace are rebuilt/reallocated —
+        they are pure functions of the problem, not state."""
+        return {
+            "states": [
+                {"u": s.u, "v": s.v, "a": s.a, "step": int(s.step)}
+                for s in self.states
+            ],
+            "predictors": [p.state_dict() for p in self.predictors],
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        if len(doc["states"]) != self.r or len(doc["predictors"]) != self.r:
+            raise ValueError(
+                f"state has {len(doc['states'])} cases, set has {self.r}"
+            )
+        self.states = [
+            NewmarkState(
+                np.asarray(d["u"], dtype=float),
+                np.asarray(d["v"], dtype=float),
+                np.asarray(d["a"], dtype=float),
+                step=int(d["step"]),
+            )
+            for d in doc["states"]
+        ]
+        for p, d in zip(self.predictors, doc["predictors"]):
+            p.load_state_dict(d)
+
+
+@dataclass
+class PipelineState:
+    """Mid-run snapshot of a :class:`HeterogeneousPipeline`.
+
+    Captures everything :meth:`HeterogeneousPipeline.run` reads across
+    step boundaries — the step index, both sets' Newmark/predictor
+    state, set B's carried prediction (``_next_guesses_b`` /
+    ``_next_s_b``), the adaptive controller, the full timeline and the
+    per-step records — so a pipeline restored from a snapshot
+    continues *bit-identically* to one that never stopped.  All fields
+    are JSON-able (arrays as nested float lists, which round-trip
+    exactly); :mod:`repro.io.results` persists snapshots to disk.
+    """
+
+    step: int
+    set_a: dict
+    set_b: dict
+    next_guesses_b: list | None
+    next_s_b: int
+    controller: dict | None
+    timeline: dict
+    records: list
+    waves: list
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PipelineState":
+        unknown = set(doc) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown pipeline state keys {sorted(unknown)}")
+        return cls(**doc)
 
 
 @dataclass
@@ -305,3 +372,57 @@ class HeterogeneousPipeline:
         if not self._waves:
             return None
         return np.stack(self._waves, axis=1)
+
+    # -- checkpoint/resume --------------------------------------------
+    def save_state(self) -> PipelineState:
+        """Snapshot the pipeline between steps (i.e. between ``run``
+        calls) for later :meth:`load_state`.  Resuming from the
+        snapshot and finishing the remaining steps is bit-identical to
+        an uninterrupted run — records, summaries, timeline and energy
+        numbers included."""
+        return PipelineState(
+            step=self.records[-1].step if self.records else 0,
+            set_a=self.set_a.state_dict(),
+            set_b=self.set_b.state_dict(),
+            next_guesses_b=self._next_guesses_b,
+            next_s_b=int(self._next_s_b),
+            controller=(
+                self.controller.state_dict()
+                if self.controller is not None
+                and hasattr(self.controller, "state_dict")
+                else None
+            ),
+            timeline=self.timeline.state_dict(),
+            records=[r.to_dict() for r in self.records],
+            waves=list(self._waves),
+        )
+
+    def load_state(self, state: PipelineState | dict) -> None:
+        """Restore a :meth:`save_state` snapshot (accepts the dataclass
+        or its :meth:`PipelineState.to_dict`/JSON-loaded dict form)."""
+        if isinstance(state, dict):
+            state = PipelineState.from_dict(state)
+        self.set_a.load_state_dict(state.set_a)
+        self.set_b.load_state_dict(state.set_b)
+        self._next_guesses_b = (
+            None
+            if state.next_guesses_b is None
+            else np.asarray(state.next_guesses_b, dtype=float)
+        )
+        self._next_s_b = int(state.next_s_b)
+        if state.controller is not None:
+            if self.controller is None or not hasattr(
+                self.controller, "load_state_dict"
+            ):
+                raise ValueError(
+                    "state has controller history but this pipeline "
+                    "has no compatible controller"
+                )
+            self.controller.load_state_dict(state.controller)
+        self.timeline.load_state_dict(state.timeline)
+        self.records = [StepRecord.from_dict(d) for d in state.records]
+        if state.step != (self.records[-1].step if self.records else 0):
+            raise ValueError(
+                f"state step {state.step} does not match its records"
+            )
+        self._waves = [np.asarray(w, dtype=float) for w in state.waves]

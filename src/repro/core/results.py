@@ -37,6 +37,36 @@ class StepRecord:
     def mean_iterations(self) -> float:
         return float(np.mean(self.iterations))
 
+    def to_dict(self) -> dict:
+        """JSON-able form (exact: floats round-trip through repr)."""
+        return {
+            "step": int(self.step),
+            "iterations": [int(i) for i in np.asarray(self.iterations)],
+            "t_solver": self.t_solver,
+            "t_predictor": self.t_predictor,
+            "t_transfer": self.t_transfer,
+            "t_step": self.t_step,
+            "s_used": int(self.s_used),
+            "s_used_b": int(self.s_used_b),
+            "t_halo": self.t_halo,
+            "relres": self.relres,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "StepRecord":
+        return cls(
+            step=int(doc["step"]),
+            iterations=np.asarray(doc["iterations"], dtype=int),
+            t_solver=float(doc["t_solver"]),
+            t_predictor=float(doc["t_predictor"]),
+            t_transfer=float(doc["t_transfer"]),
+            t_step=float(doc["t_step"]),
+            s_used=int(doc.get("s_used", 0)),
+            s_used_b=int(doc.get("s_used_b", 0)),
+            t_halo=float(doc.get("t_halo", 0.0)),
+            relres=float(doc.get("relres", 0.0)),
+        )
+
 
 @dataclass
 class RunResult:

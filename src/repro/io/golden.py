@@ -35,13 +35,17 @@ def canonical(doc: dict) -> dict:
 
 
 def save_golden(doc: dict, path: str | pathlib.Path) -> pathlib.Path:
-    """Write one golden fixture (sorted keys, so regenerated fixtures
-    diff cleanly in review)."""
+    """Write one golden fixture atomically (sorted keys, so
+    regenerated fixtures diff cleanly in review; temp-file + rename,
+    so an interrupted regeneration can never leave a torn fixture)."""
+    from repro.io.results import atomic_write_text
+
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     out = {"schema": _GOLDEN_SCHEMA, **canonical(doc)}
-    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
-    return path
+    return atomic_write_text(
+        path, json.dumps(out, indent=1, sort_keys=True) + "\n"
+    )
 
 
 def load_golden(path: str | pathlib.Path) -> dict:

@@ -1,4 +1,4 @@
-"""JSON persistence for run results and campaign artifacts.
+"""JSON persistence for run results, campaign artifacts and checkpoints.
 
 Saves everything needed to regenerate a paper-table row — method,
 module, memory, power, per-step records — without the bulky state
@@ -6,30 +6,76 @@ vectors.  Loading returns plain dictionaries (the consumer is table
 generation and cross-run comparison, not resumption).
 
 Campaign cells use the same discipline: one JSON document per cell,
-keyed by the cell's content hash, written atomically (tmp + rename) so
-a killed worker never leaves a half-written artifact that a later
-cache probe would trust.
+keyed by the cell's content hash, written atomically so a killed
+worker never leaves a half-written artifact that a later cache probe
+would trust.  *Every* writer in this module goes through
+:func:`atomic_write_text`: the bytes land in a per-writer unique
+temporary file in the destination directory and are published with a
+single ``os.replace`` — concurrent writers of the same path cannot
+tear each other's documents, and a reader only ever sees a complete
+document or none.
+
+Checkpoints (:func:`save_pipeline_state` / campaign checkpoint docs)
+round-trip solver state exactly: ``json.dumps`` writes floats via
+``repr`` (shortest round-trip form), so a resumed run continues from
+bit-identical fp64 state.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
+import tempfile
 
 import numpy as np
 
 from repro.core.results import RunResult
 
 __all__ = [
+    "atomic_write_text",
     "save_result",
     "load_result_summary",
     "save_campaign_cell",
     "load_campaign_cell",
+    "save_pipeline_state",
+    "load_pipeline_state",
+    "save_campaign_checkpoint",
+    "load_campaign_checkpoint",
 ]
 
 _SCHEMA_VERSION = 1
 _CAMPAIGN_SCHEMA_VERSION = 1
+_STATE_SCHEMA_VERSION = 1
+_CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Atomically publish ``text`` at ``path``.
+
+    The content is staged in a uniquely named temporary file in the
+    *same directory* (so the final ``os.replace`` stays within one
+    filesystem and is atomic) and renamed over the destination.  A
+    kill mid-write leaves only a stray ``*.tmp`` file, never a torn
+    document; concurrent writers of the same path each stage in their
+    own temp file, so the last ``os.replace`` wins with a complete
+    document either way.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
 
 
 def save_result(
@@ -38,30 +84,14 @@ def save_result(
     window: tuple[int, int] | None = None,
 ) -> pathlib.Path:
     """Write a result (summary + per-step records) as JSON."""
-    path = pathlib.Path(path)
     doc = {
         "schema": _SCHEMA_VERSION,
         "summary": _jsonable(result.summary(window)),
         "window": list(window) if window else None,
         "power": _jsonable(result.power),
-        "records": [
-            {
-                "step": r.step,
-                "iterations": [int(i) for i in np.asarray(r.iterations)],
-                "t_solver": r.t_solver,
-                "t_predictor": r.t_predictor,
-                "t_transfer": r.t_transfer,
-                "t_step": r.t_step,
-                "t_halo": r.t_halo,
-                "s_used": int(r.s_used),
-                "s_used_b": int(r.s_used_b),
-            }
-            for r in result.records
-        ],
+        "records": [_jsonable(r.to_dict()) for r in result.records],
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=1))
-    return path
+    return atomic_write_text(path, json.dumps(doc, indent=1))
 
 
 def load_result_summary(path: str | pathlib.Path) -> dict:
@@ -87,13 +117,8 @@ def save_campaign_cell(
     for required in ("key", "kind", "params", "result"):
         if required not in doc:
             raise ValueError(f"campaign cell doc missing {required!r}")
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     out = {**_jsonable(doc), "schema": _CAMPAIGN_SCHEMA_VERSION}
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(out, indent=1))
-    os.replace(tmp, path)
-    return path
+    return atomic_write_text(path, json.dumps(out, indent=1))
 
 
 def load_campaign_cell(path: str | pathlib.Path) -> dict:
@@ -103,6 +128,68 @@ def load_campaign_cell(path: str | pathlib.Path) -> dict:
         raise ValueError(
             f"unsupported campaign cell schema {doc.get('schema')!r} "
             f"(expected {_CAMPAIGN_SCHEMA_VERSION})"
+        )
+    return doc
+
+
+def save_pipeline_state(
+    state: dict, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Atomically write one mid-run solver state snapshot.
+
+    ``state`` is the document produced by the method drivers
+    (:meth:`repro.core.pipeline.HeterogeneousPipeline.save_state` via
+    :func:`repro.core.methods.run_method`); floats survive the JSON
+    round trip bit-exactly, so resuming from the loaded state is
+    numerically indistinguishable from never having stopped.
+    """
+    doc = {"schema": _STATE_SCHEMA_VERSION, "state": _jsonable(state)}
+    return atomic_write_text(path, json.dumps(doc))
+
+
+def load_pipeline_state(path: str | pathlib.Path) -> dict:
+    """Read a state snapshot; raises ``ValueError`` on schema mismatch
+    (a checkpoint from an incompatible code version must fail loudly,
+    not resume into silently wrong numbers)."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != _STATE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported pipeline state schema {doc.get('schema')!r} "
+            f"(expected {_STATE_SCHEMA_VERSION})"
+        )
+    return doc["state"]
+
+
+def save_campaign_checkpoint(
+    doc: dict, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Atomically write one per-cell campaign checkpoint.
+
+    ``doc`` must carry the cell identity (``key``, ``kind``,
+    ``params``), the completed ``step`` count, and the driver
+    ``state`` to resume from.
+    """
+    for required in ("key", "kind", "params", "step", "state"):
+        if required not in doc:
+            raise ValueError(f"campaign checkpoint doc missing {required!r}")
+    out = {**_jsonable(doc), "schema": _CHECKPOINT_SCHEMA_VERSION}
+    return atomic_write_text(path, json.dumps(out))
+
+
+def load_campaign_checkpoint(path: str | pathlib.Path) -> dict:
+    """Read one campaign checkpoint.
+
+    Raises ``ValueError`` on a schema-version mismatch — resuming
+    from a checkpoint written by an incompatible version must fail
+    loudly.  (A syntactically unreadable file raises
+    ``json.JSONDecodeError``, which callers may treat as "no
+    checkpoint" since checkpoints are disposable.)
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != _CHECKPOINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported campaign checkpoint schema {doc.get('schema')!r} "
+            f"(expected {_CHECKPOINT_SCHEMA_VERSION})"
         )
     return doc
 

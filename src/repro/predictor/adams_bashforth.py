@@ -59,6 +59,22 @@ class AdamsBashforth:
         """History footprint (u + stored velocities)."""
         return 8 * self.n * (1 + len(self._v_hist))
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the extrapolation history."""
+        return {"u": self._u, "v_hist": list(self._v_hist)}
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (exact: the arrays
+        round-trip through JSON repr floats bit-identically)."""
+        u = np.asarray(doc["u"], dtype=float)
+        if u.shape != (self.n,):
+            raise ValueError("state size mismatch")
+        self._u = u
+        self._v_hist = deque(
+            (np.asarray(v, dtype=float) for v in doc["v_hist"]),
+            maxlen=self.order,
+        )
+
     def predict(self, f_next: np.ndarray | None = None) -> np.ndarray:
         """Extrapolated displacement for the upcoming step.
 

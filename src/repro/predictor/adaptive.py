@@ -45,6 +45,14 @@ class AdaptiveSController:
         if self.s < 0:
             self.s = self.s_min
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot (current ``s`` + decision history)."""
+        return {"s": self.s, "history": list(self.history)}
+
+    def load_state_dict(self, doc: dict) -> None:
+        self.s = int(doc["s"])
+        self.history = [int(x) for x in doc["history"]]
+
     def update(self, t_predictor: float, t_solver: float) -> int:
         """Observe one step's times; return the ``s`` for the next step.
 

@@ -154,6 +154,35 @@ class DataDrivenPredictor:
         stores of both responses and forces)."""
         return 8 * self.n * (len(self._corr) + len(self._force)) + self.ab.memory_bytes()
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of everything :meth:`predict` reads:
+        the current ``s``, the AB extrapolator, the correction/force
+        history and the pending ``_last_ab`` (non-``None`` between a
+        ``predict`` and its ``observe`` — exactly the situation of the
+        trailing process set at a pipeline checkpoint boundary)."""
+        return {
+            "s": self.s,
+            "ab": self.ab.state_dict(),
+            "corr": list(self._corr),
+            "force": list(self._force),
+            "last_ab": self._last_ab,
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.s = int(np.clip(int(doc["s"]), 1, self.s_max))
+        self.ab.load_state_dict(doc["ab"])
+        self._corr = deque(
+            (np.asarray(d, dtype=float) for d in doc["corr"]),
+            maxlen=self.s_max + 1,
+        )
+        self._force = deque(
+            (np.asarray(f, dtype=float) for f in doc["force"]),
+            maxlen=self.s_max + 1,
+        )
+        last = doc.get("last_ab")
+        self._last_ab = None if last is None else np.asarray(last, dtype=float)
+
     # -- prediction ----------------------------------------------------
     def _to_regions(self, v: np.ndarray) -> np.ndarray:
         buf = np.zeros(self._padded)

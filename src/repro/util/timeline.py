@@ -86,6 +86,38 @@ class Timeline:
         m = self.makespan
         return self.busy_time(resource) / m if m > 0 else 0.0
 
+    # -- checkpoint/resume --------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the full schedule.
+
+        The complete interval list is kept (not just per-lane busy
+        totals): the power model integrates the *exact* cpu/gpu
+        overlap from the intervals, so a resumed run can only
+        reproduce an uninterrupted run's energy numbers bit-for-bit if
+        the schedule itself survives the round trip.
+        """
+        return {
+            "intervals": [
+                [iv.resource, iv.label, iv.start, iv.end]
+                for iv in self.intervals
+            ],
+            "cursors": dict(self._cursors),
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.intervals = [
+            Interval(str(res), str(label), float(start), float(end))
+            for res, label, start, end in doc["intervals"]
+        ]
+        self._cursors = {str(k): float(v) for k, v in doc["cursors"].items()}
+
+    @classmethod
+    def from_state(cls, doc: dict) -> "Timeline":
+        tl = cls()
+        tl.load_state_dict(doc)
+        return tl
+
     def validate(self) -> None:
         """Check the no-overlap invariant within every lane."""
         by_res: dict[str, list[Interval]] = {}

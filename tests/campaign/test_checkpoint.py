@@ -1,0 +1,304 @@
+"""Crash-safe campaigns: checkpoint/resume, locks, dedupe, manifests.
+
+The scenarios a real cluster produces: a worker killed mid-cell, a
+half-written artifact, two campaigns racing for one store, the same
+cell appearing twice in one grid.  The invariants: nothing computes
+twice, nothing resumes into wrong numbers silently, and a resumed
+campaign's report is bit-identical to one that never crashed.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.core.methods as methods_mod
+from repro.campaign import (
+    CampaignCell,
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    default_waves,
+    register_executor,
+)
+from repro.campaign.runner import CELL_EXECUTORS
+from repro.io.golden import canonical, golden_diff
+
+#: CI sets REPRO_TEST_START_METHOD=spawn to re-run this module with
+#: the pool on the spawn start method (workers re-import everything);
+#: unset, the pool uses the platform default (fork on Linux).
+POOL_START = os.environ.get("REPRO_TEST_START_METHOD") or None
+
+
+@pytest.fixture()
+def spec():
+    return CampaignSpec(
+        name="ck",
+        models=("stratified",),
+        waves=default_waves(1),
+        methods=("crs-cg@gpu",),
+        resolutions=((2, 2, 1),),
+        cases=1,
+        steps=6,
+    )
+
+
+def _kill_after_first_flush(monkeypatch):
+    """Make run_method die right after its first checkpoint flush —
+    the observable effect of a SIGKILL between two flushes (state on
+    disk, no artifact)."""
+    real = methods_mod.run_method
+
+    def killing(problem, forces, **kw):
+        orig_cb = kw.get("on_checkpoint")
+
+        def cb(doc):
+            orig_cb(doc)
+            raise RuntimeError("simulated kill")
+
+        if orig_cb is not None:
+            kw["on_checkpoint"] = cb
+        return real(problem, forces, **kw)
+
+    monkeypatch.setattr(methods_mod, "run_method", killing)
+    return real
+
+
+def test_interrupted_campaign_resumes_from_checkpoint(
+    spec, tmp_path, monkeypatch
+):
+    ref = CampaignRunner(store=ResultStore(tmp_path / "ref"), jobs=1).run(spec)
+    key = spec.cells()[0].key
+
+    store = ResultStore(tmp_path / "store")
+    real = _kill_after_first_flush(monkeypatch)
+    crashed = CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    assert crashed.n_failed == 1
+    assert "simulated kill" in crashed.outcomes[0].error
+    # the dead cell left its state behind, and the manifest says so
+    assert store.checkpoint_keys() == [key]
+    assert store.load_checkpoint(key)["step"] == 2
+    assert len(store) == 0  # no artifact for the unfinished cell
+    manifest = store.load_manifest()
+    assert manifest["in_progress"] is False
+    assert manifest["cells"][0]["status"] == "failed"
+
+    # resume: restarts from step 2, not step 0, and finishes
+    monkeypatch.setattr(methods_mod, "run_method", real)
+    seen = {}
+
+    def recording(problem, forces, **kw):
+        seen["start_state"] = kw.get("start_state")
+        return real(problem, forces, **kw)
+
+    monkeypatch.setattr(methods_mod, "run_method", recording)
+    resumed = CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(
+        spec, resume=True
+    )
+    assert seen["start_state"] is not None
+    assert seen["start_state"]["step"] == 2
+    assert resumed.n_computed == 1 and resumed.n_failed == 0
+    # bit-identical to the never-crashed reference
+    assert golden_diff(
+        canonical(ref.outcomes[0].result), canonical(resumed.outcomes[0].result)
+    ) == []
+    # the checkpoint is consumed, the manifest closes out
+    assert store.checkpoint_keys() == []
+    assert store.load_manifest()["cells"][0]["status"] == "done"
+
+
+def test_without_resume_interrupted_cell_restarts_from_zero(
+    spec, tmp_path, monkeypatch
+):
+    store = ResultStore(tmp_path / "store")
+    real = _kill_after_first_flush(monkeypatch)
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    monkeypatch.setattr(methods_mod, "run_method", real)
+
+    seen = {}
+
+    def recording(problem, forces, **kw):
+        seen["start_state"] = kw.get("start_state")
+        return real(problem, forces, **kw)
+
+    monkeypatch.setattr(methods_mod, "run_method", recording)
+    rep = CampaignRunner(store=store, jobs=1).run(spec)  # no resume flag
+    assert rep.n_computed == 1
+    assert seen["start_state"] is None  # from step 0, checkpoint ignored
+
+
+def test_resume_with_unreadable_checkpoint_recomputes(spec, tmp_path):
+    """A truncated checkpoint is disposable: resume quietly restarts
+    the cell from step 0 instead of crashing the campaign."""
+    store = ResultStore(tmp_path / "store")
+    key = spec.cells()[0].key
+    store.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    store.checkpoint_path(key).write_text('{"schema": 1, "trunc')
+    rep = CampaignRunner(store=store, jobs=1).run(spec, resume=True)
+    assert rep.n_computed == 1 and rep.n_failed == 0
+
+
+def test_resume_with_schema_mismatch_fails_loudly(spec, tmp_path):
+    """A checkpoint from an incompatible version must NOT silently
+    recompute — it fails the cell with a schema error the operator
+    has to acknowledge (by deleting the checkpoint)."""
+    store = ResultStore(tmp_path / "store")
+    cell = spec.cells()[0]
+    store.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    store.checkpoint_path(cell.key).write_text(
+        json.dumps(
+            {"schema": 999, "key": cell.key, "kind": cell.kind,
+             "params": cell.params, "step": 2, "state": {}}
+        )
+    )
+    rep = CampaignRunner(store=store, jobs=1).run(spec, resume=True)
+    assert rep.n_failed == 1
+    assert "schema" in rep.outcomes[0].error
+
+
+def test_duplicate_key_cells_computed_once(tmp_path):
+    """Two cells with identical params are one computation: the
+    result fans out to both indices, the store holds one artifact."""
+    calls = {"n": 0}
+
+    @register_executor("dup-count")
+    def _count(params):
+        calls["n"] += 1
+        return {"v": params["v"]}
+
+    try:
+        cells = [
+            CampaignCell(kind="dup-count", params={"v": 7}, label="a"),
+            CampaignCell(kind="dup-count", params={"v": 8}, label="b"),
+            CampaignCell(kind="dup-count", params={"v": 7}, label="a2"),
+        ]
+        assert cells[0].key == cells[2].key
+        store = ResultStore(tmp_path)
+        outcomes = CampaignRunner(store=store, jobs=1).run_cells(cells)
+        assert calls["n"] == 2  # three cells, two unique keys
+        assert [o.result["v"] for o in outcomes] == [7, 8, 7]
+        assert all(o.ok for o in outcomes)
+        assert not outcomes[0].cached and not outcomes[2].cached
+        assert len(store) == 2
+    finally:
+        CELL_EXECUTORS.pop("dup-count", None)
+
+
+def test_duplicate_key_failure_fans_out(tmp_path):
+    """A failing representative marks *every* index of its key."""
+
+    @register_executor("dup-fail")
+    def _fail(params):
+        raise RuntimeError("boom")
+
+    try:
+        cells = [
+            CampaignCell(kind="dup-fail", params={}, label="x"),
+            CampaignCell(kind="dup-fail", params={}, label="y"),
+        ]
+        outcomes = CampaignRunner(store=None, jobs=1).run_cells(cells)
+        assert [o.ok for o in outcomes] == [False, False]
+        assert outcomes[0].error == outcomes[1].error
+    finally:
+        CELL_EXECUTORS.pop("dup-fail", None)
+
+
+def test_error_format_identical_inline_and_pool():
+    """Satellite regression: the inline and pool paths used to format
+    the same failure differently; both now go through one formatter."""
+
+    @register_executor("err-fmt")
+    def _fail(params):
+        raise RuntimeError("boom with detail")
+
+    try:
+        cells = [CampaignCell(kind="err-fmt", params={}, label="x")]
+        inline = CampaignRunner(store=None, jobs=1).run_cells(cells)
+        pooled = CampaignRunner(store=None, jobs=2).run_cells(cells)
+        assert inline[0].error == "RuntimeError: boom with detail"
+        assert pooled[0].error == inline[0].error
+    finally:
+        CELL_EXECUTORS.pop("err-fmt", None)
+
+
+def test_lock_mutual_exclusion(tmp_path):
+    store = ResultStore(tmp_path)
+    with store.lock("k") as got:
+        assert got is True
+        with store.lock("k", blocking=False) as second:
+            assert second is False  # held elsewhere
+        with store.lock("other", blocking=False) as other:
+            assert other is True  # per-key, not store-wide
+    with store.lock("k", blocking=False) as again:
+        assert again is True  # released on exit
+
+
+def test_compute_under_lock_reprobes(tmp_path):
+    """A loser of the lock race finds the winner's artifact when it
+    re-probes under the lock and never recomputes."""
+    from repro.campaign.runner import _compute_miss
+
+    calls = {"n": 0}
+
+    @register_executor("race")
+    def _exec(params):
+        calls["n"] += 1
+        return {"ok": True}
+
+    try:
+        store = ResultStore(tmp_path)
+        cell = CampaignCell(kind="race", params={}, label="x")
+        first = _compute_miss(cell, str(store.root), 0, False)
+        second = _compute_miss(cell, str(store.root), 0, False)
+        assert calls["n"] == 1
+        assert first == {"result": {"ok": True}, "cached": False}
+        assert second == {"result": {"ok": True}, "cached": True}
+    finally:
+        CELL_EXECUTORS.pop("race", None)
+
+
+def test_pool_spawn_resume_bit_identical(spec, tmp_path, monkeypatch):
+    """The acceptance scenario end-to-end under the pool: seed an
+    interrupted cell, then finish the campaign with jobs=2 under the
+    spawn start method and require bit-identity with a never-crashed
+    run.  (Spawn workers import the runner fresh, so this also proves
+    resume needs no state smuggled from the parent.)"""
+    ref = CampaignRunner(store=ResultStore(tmp_path / "ref"), jobs=1).run(spec)
+    store = ResultStore(tmp_path / "store")
+    _kill_after_first_flush(monkeypatch)
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    assert store.checkpoint_keys() == [spec.cells()[0].key]
+    monkeypatch.undo()
+
+    resumed = CampaignRunner(
+        store=store, jobs=2, checkpoint_every=2,
+        mp_start_method=POOL_START or "spawn",
+    ).run(spec, resume=True)
+    assert resumed.n_computed == 1 and resumed.n_failed == 0
+    assert golden_diff(
+        canonical(ref.outcomes[0].result),
+        canonical(resumed.outcomes[0].result),
+    ) == []
+    assert store.checkpoint_keys() == []
+    # the second run from the same store is a pure cache hit
+    again = CampaignRunner(
+        store=store, jobs=2, mp_start_method=POOL_START or "spawn"
+    ).run(spec, resume=True)
+    assert again.n_cached == 1
+
+
+def test_manifest_lifecycle(spec, tmp_path):
+    store = ResultStore(tmp_path)
+    CampaignRunner(store=store, jobs=1).run(spec)
+    m1 = store.load_manifest()
+    assert m1["in_progress"] is False
+    assert [c["status"] for c in m1["cells"]] == ["done"]
+    CampaignRunner(store=store, jobs=1).run(spec)
+    m2 = store.load_manifest()
+    assert [c["status"] for c in m2["cells"]] == ["cached"]
+    assert m2["cells"][0]["ok"] is True
+
+
+def test_runner_validates_checkpoint_every():
+    with pytest.raises(ValueError):
+        CampaignRunner(checkpoint_every=-1)

@@ -192,13 +192,19 @@ def test_ablation_cells_share_one_force_seed():
     assert len(seeds) == 1
 
 
-def test_corrupt_artifact_recomputed(tiny_spec, tmp_path):
-    """A half-written or schema-mismatched artifact is a cache miss,
-    not a crash — the cell recomputes and the artifact heals."""
+@pytest.mark.parametrize(
+    "garbage",
+    ['{"schema": 999}', '{"schema": 1, "key": "k", "trunc'],
+    ids=["schema-mismatch", "truncated"],
+)
+def test_corrupt_artifact_recomputed(tiny_spec, tmp_path, garbage):
+    """A half-written (truncated) or schema-mismatched artifact is a
+    cache miss, not a crash — the cell recomputes and the artifact
+    heals."""
     store = ResultStore(tmp_path)
     first = CampaignRunner(store=store, jobs=1).run(tiny_spec)
     key = tiny_spec.cells()[0].key
-    store.path_for(key).write_text('{"schema": 999}')
+    store.path_for(key).write_text(garbage)
     rep = CampaignRunner(store=store, jobs=1).run(tiny_spec)
     assert rep.n_computed == 1 and rep.n_cached == 0 and rep.n_failed == 0
     healed = CampaignRunner(store=store, jobs=1).run(tiny_spec)

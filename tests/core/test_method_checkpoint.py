@@ -1,0 +1,166 @@
+"""Checkpoint/resume of the method drivers.
+
+The contract under test: a run interrupted at any checkpoint and
+resumed from the *JSON-persisted* state is bit-identical — summaries,
+per-step records, timeline totals, power — to a run that never
+stopped.  That exactness is what lets the campaign layer resume
+killed cells without invalidating golden fixtures.
+"""
+
+import json
+
+import pytest
+
+from repro.core.methods import run_method
+from repro.core.pipeline import PipelineState
+from repro.io.golden import canonical, golden_diff
+from repro.io.results import load_pipeline_state, save_pipeline_state
+
+NT = 8
+WINDOW = (max(1, NT * 5 // 8), NT + 1)
+
+CONFIGS = [
+    # (method, nparts, precision) — every driver family, plus the
+    # distributed and transprecision axes
+    ("crs-cg@cpu", 1, "fp64"),
+    ("crs-cg@gpu", 1, "fp64"),
+    ("crs-cg@cpu-gpu", 1, "fp64"),
+    ("ebe-mcg@cpu-gpu", 1, "fp64"),
+    ("ebe-mcg@cpu-gpu", 2, "fp64"),
+    ("ebe-mcg@cpu-gpu", 2, "fp21"),
+]
+
+
+def _doc(result) -> dict:
+    """Everything a resumed run must reproduce exactly."""
+    return canonical(
+        {
+            "summary": result.summary(WINDOW),
+            "records": [r.to_dict() for r in result.records],
+            "power": result.power,
+            "busy": {
+                lane: result.timeline.busy_time(lane)
+                for lane in ("cpu", "gpu", "c2c", "nic")
+            },
+        }
+    )
+
+
+def _forces_for(method, problem, make_forces):
+    n = 1 if method in ("crs-cg@cpu", "crs-cg@gpu") else 2
+    return make_forces(problem, n)
+
+
+@pytest.mark.parametrize("method,nparts,precision", CONFIGS)
+def test_resume_bit_identical(
+    method, nparts, precision, ground_problem, make_forces, tmp_path
+):
+    forces = _forces_for(method, ground_problem, make_forces)
+    kw = dict(
+        method=method, s_range=(2, 4), nparts=nparts, precision=precision
+    )
+    straight = run_method(ground_problem, forces, nt=NT, **kw)
+
+    # interrupted run: checkpoint every 3 steps, keep only the last
+    # flush (as a crashed campaign would), round-trip it through JSON
+    saved = {}
+    run_method(
+        ground_problem, forces, nt=NT, checkpoint_every=3,
+        on_checkpoint=lambda doc: saved.update(doc), **kw
+    )
+    assert saved["step"] == 6  # flushes at 3 and 6; 8 is the finish
+    path = save_pipeline_state(saved, tmp_path / "state.json")
+    resumed = run_method(
+        ground_problem, forces, nt=NT,
+        start_state=load_pipeline_state(path), **kw
+    )
+
+    assert golden_diff(_doc(straight), _doc(resumed)) == []
+    assert len(resumed.records) == NT
+
+
+def test_chunked_equals_uninterrupted(ground_problem, make_forces):
+    """Checkpoint flushes alone (no kill, no resume) must not perturb
+    the numerics — chunked stepping is invisible."""
+    forces = make_forces(ground_problem, 2)
+    kw = dict(method="ebe-mcg@cpu-gpu", s_range=(2, 4))
+    straight = run_method(ground_problem, forces, nt=NT, **kw)
+    chunked = run_method(
+        ground_problem, forces, nt=NT, checkpoint_every=1,
+        on_checkpoint=lambda doc: None, **kw
+    )
+    assert golden_diff(_doc(straight), _doc(chunked)) == []
+
+
+def test_resume_from_every_checkpoint(ground_problem, make_forces):
+    """Bit-identity holds from *any* interruption point, not just the
+    last flush."""
+    forces = make_forces(ground_problem, 2)
+    kw = dict(method="crs-cg@cpu-gpu", s_range=(2, 4))
+    straight = _doc(run_method(ground_problem, forces, nt=NT, **kw))
+    flushes = []
+    run_method(
+        ground_problem, forces, nt=NT, checkpoint_every=2,
+        on_checkpoint=flushes.append, **kw
+    )
+    assert [f["step"] for f in flushes] == [2, 4, 6]
+    for state in flushes:
+        state = canonical(state)  # what disk would return
+        resumed = run_method(
+            ground_problem, forces, nt=NT, start_state=state, **kw
+        )
+        assert golden_diff(straight, _doc(resumed)) == [], state["step"]
+
+
+def test_header_mismatch_rejected(ground_problem, make_forces):
+    """A state document only resumes the exact configuration that
+    wrote it — method, nparts, precision and step range all guard."""
+    forces = make_forces(ground_problem, 2)
+    saved = {}
+    run_method(
+        ground_problem, forces, nt=4, method="ebe-mcg@cpu-gpu",
+        s_range=(2, 4), checkpoint_every=2,
+        on_checkpoint=lambda doc: saved.update(doc),
+    )
+    kw = dict(s_range=(2, 4), start_state=saved)
+    with pytest.raises(ValueError, match="method"):
+        run_method(ground_problem, forces, nt=4, method="crs-cg@cpu-gpu", **kw)
+    with pytest.raises(ValueError, match="nparts"):
+        run_method(
+            ground_problem, forces, nt=4, method="ebe-mcg@cpu-gpu",
+            nparts=2, **kw
+        )
+    with pytest.raises(ValueError, match="precision"):
+        run_method(
+            ground_problem, forces, nt=4, method="ebe-mcg@cpu-gpu",
+            precision="fp21", **kw
+        )
+    with pytest.raises(ValueError, match="step"):
+        # the checkpoint (step 2) is already past this run's end
+        run_method(
+            ground_problem, forces, nt=1, method="ebe-mcg@cpu-gpu",
+            s_range=(2, 4), start_state=saved,
+        )
+
+
+def test_state_schema_mismatch_fails_loudly(tmp_path):
+    path = save_pipeline_state({"method": "x", "step": 1}, tmp_path / "s.json")
+    doc = json.loads(path.read_text())
+    doc["schema"] = 999
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="schema"):
+        load_pipeline_state(path)
+
+
+def test_pipeline_state_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown"):
+        PipelineState.from_dict({"step": 1, "bogus": 2})
+
+
+def test_checkpoint_every_validated(ground_problem, make_forces):
+    forces = make_forces(ground_problem, 1)
+    with pytest.raises(ValueError):
+        run_method(
+            ground_problem, forces, nt=2, method="crs-cg@gpu",
+            checkpoint_every=-1,
+        )

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.results import RunResult, StepRecord
-from repro.io.results import load_result_summary, save_result
+from repro.io.results import (
+    atomic_write_text,
+    load_campaign_checkpoint,
+    load_result_summary,
+    save_campaign_checkpoint,
+    save_result,
+)
 from repro.util.timeline import Timeline
 
 
@@ -76,3 +82,59 @@ def test_schema_check(tmp_path):
     bad.write_text(json.dumps({"schema": 99}))
     with pytest.raises(ValueError):
         load_result_summary(bad)
+
+
+def test_atomic_write_replaces_and_leaves_no_temps(tmp_path):
+    path = tmp_path / "doc.json"
+    atomic_write_text(path, "old")
+    assert atomic_write_text(path, "new") == path
+    assert path.read_text() == "new"
+    # the staging files are gone: publication is rename-only
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+def test_atomic_write_failure_leaves_previous_content(tmp_path, monkeypatch):
+    path = tmp_path / "doc.json"
+    atomic_write_text(path, "good")
+
+    import os as _os
+
+    def refuse(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.io.results.os.replace", refuse)
+    with pytest.raises(OSError):
+        atomic_write_text(path, "half")
+    monkeypatch.undo()
+    # the old document survives untorn and no temp file leaks
+    assert path.read_text() == "good"
+    assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+def test_step_record_dict_roundtrip():
+    rec = StepRecord(
+        step=3, iterations=np.array([5, 6]), t_solver=0.5, t_predictor=0.2,
+        t_transfer=0.01, t_step=0.71, s_used=4, s_used_b=6, t_halo=0.03,
+        relres=1e-9,
+    )
+    back = StepRecord.from_dict(json.loads(json.dumps(rec.to_dict())))
+    assert back.to_dict() == rec.to_dict()
+    assert list(back.iterations) == [5, 6]
+
+
+def test_campaign_checkpoint_io_validation(tmp_path):
+    with pytest.raises(ValueError):  # identity fields are mandatory
+        save_campaign_checkpoint({"key": "k", "state": {}}, tmp_path / "c.json")
+    p = save_campaign_checkpoint(
+        {"key": "k", "kind": "method", "params": {"a": 1}, "step": 4,
+         "state": {"x": 0.1}},
+        tmp_path / "c.json",
+    )
+    doc = load_campaign_checkpoint(p)
+    assert doc["step"] == 4 and doc["state"] == {"x": 0.1}
+    p.write_text(json.dumps({"schema": 999}))
+    with pytest.raises(ValueError, match="schema"):
+        load_campaign_checkpoint(p)
+    p.write_text('{"torn')
+    with pytest.raises(json.JSONDecodeError):
+        load_campaign_checkpoint(p)

@@ -306,3 +306,28 @@ def test_campaign_bad_scenario_rejected(tmp_path):
         main(["campaign", "--models", "stratified", "--waves", "1",
               "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
               "--scenario", "impulse,marsquake", "--no-store"])
+
+
+# ------------------------------------------------------- crash safety
+def test_campaign_checkpoint_flags(capsys, tmp_path):
+    """--checkpoint-every runs clean (checkpoints consumed on success)
+    and --resume on the same store is all cache hits."""
+    store = tmp_path / "store"
+    args = ["campaign", "--models", "stratified", "--waves", "1",
+            "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
+            "--cases", "1", "--steps", "4", "--store", str(store)]
+    assert main(args + ["--checkpoint-every", "2"]) == 0
+    assert list((store / "checkpoints").glob("*.json")) == []
+    assert main(args + ["--checkpoint-every", "2", "--resume"]) == 0
+    assert "1 cache hits" in capsys.readouterr().out
+
+
+def test_campaign_resume_needs_store(tmp_path):
+    base = ["campaign", "--models", "stratified", "--waves", "1",
+            "--methods", "crs-cg@gpu", "--resolutions", "2,2,1"]
+    with pytest.raises(SystemExit, match="store"):
+        main(base + ["--no-store", "--resume"])
+    with pytest.raises(SystemExit, match="store"):
+        main(base + ["--no-store", "--checkpoint-every", "2"])
+    with pytest.raises(SystemExit):
+        main(base + ["--store", str(tmp_path), "--checkpoint-every", "-1"])
