@@ -1,0 +1,103 @@
+"""Backend speedup — measured wall time of the fused r=8 solve.
+
+The backend seam exists to let accelerated engines execute the exact
+solver the reference NumPy backend runs.  This bench times the fused
+EBE-MCG solve (r = 8 right-hand sides, block-Jacobi PCG to 1e-8) under
+every available backend on the bench mesh and reports, per backend:
+
+* measured wall seconds (best of ``REPEATS``);
+* speedup over the ``numpy`` reference;
+* the modeled GH200 time for the identical tally, and the
+  measured-vs-modeled ratio — the gap a real GPU port would close.
+
+With numba installed the jitted backend must beat the reference
+outright (ratio > 1x) — that assertion is the acceptance criterion for
+the seam paying for itself; without numba the test skips.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, write_table
+from repro.hardware.roofline import DeviceModel
+from repro.hardware.specs import SINGLE_GH200
+from repro.sparse.backend import available_backend_names, backend_by_name
+from repro.sparse.cg import PCGWorkspace, pcg
+from repro.sparse.ebe import EBEOperator
+from repro.sparse.precond import BlockJacobi
+from repro.util.counters import tally_scope
+
+R_FUSED = 8
+REPEATS = 3
+
+
+def _solve_once(problem, backend, B, workspace):
+    A = EBEOperator(problem.Ae, problem.mesh.elems, problem.n_nodes,
+                    tag="spmv.ebe", backend=backend)
+    M = BlockJacobi(A.diagonal_blocks(), backend=backend)
+    with tally_scope() as t:
+        res = pcg(A, B, precond=M, eps=1e-8, workspace=workspace,
+                  backend=backend)
+    return res, t
+
+
+def _time_backend(problem, name, B):
+    bk = backend_by_name(name)
+    ws = PCGWorkspace()
+    # warm-up solve: numba JIT compilation (and any lazy caches) must
+    # not be billed to the measured iteration
+    _solve_once(problem, bk, B, ws)
+    best, res, tally = np.inf, None, None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        res, tally = _solve_once(problem, bk, B, ws)
+        best = min(best, time.perf_counter() - t0)
+    assert bool(res.converged.all()), name
+    return best, res, tally
+
+
+def test_backend_speedup(bench_problem):
+    problem = bench_problem
+    rng = np.random.default_rng(7)
+    B = rng.standard_normal((problem.n_dofs, R_FUSED))
+    B[problem.fixed_dofs, :] = 0.0
+
+    gpu = DeviceModel(SINGLE_GH200.gpu)
+    names = ["numpy"] + [
+        n for n in available_backend_names() if n not in ("numpy", "cupy")
+    ]
+
+    rows, wall = [], {}
+    for name in names:
+        t_wall, res, tally = _time_backend(problem, name, B)
+        t_model = gpu.time_for_tally(tally)
+        wall[name] = t_wall
+        rows.append([
+            name,
+            f"{t_wall:.4f}",
+            f"{wall['numpy'] / t_wall:5.2f}x",
+            f"{res.loop_iterations}",
+            f"{t_model:.5f}",
+            f"{t_wall / t_model:7.1f}x",
+        ])
+
+    write_table("backend_speedup", format_table(
+        f"Fused EBE-MCG solve wall time by backend "
+        f"(r={R_FUSED}, {problem.n_dofs} dofs, eps=1e-8)",
+        ["backend", "wall s", "vs numpy", "iters",
+         "modeled GH200 s", "measured/modeled"],
+        rows,
+    ))
+
+    # every backend solves the same system to the same tolerance
+    assert len({r[3] for r in rows}) <= 2  # rounding may move iters by 1
+
+    if "numba" not in available_backend_names():
+        pytest.skip("numba not installed: speedup contract not testable")
+    # the acceptance criterion: the jitted engine beats the reference
+    ratio = wall["numpy"] / wall["numba"]
+    assert ratio > 1.0, f"numba backend slower than numpy ({ratio:.2f}x)"

@@ -162,9 +162,14 @@ def run_method_cell(params: dict, ctx: dict | None = None) -> dict:
     the cell's content-derived seed, so results are independent of
     worker placement and grid composition.  An optional ``"nparts"``
     entry (> 1) runs the cell through the distributed part-local
-    solver, and an optional ``"precision"`` entry (non-fp64) through
-    the transprecision solver stack — the scenario seed is unchanged
-    by all three axes, so sweeps compare identical random draws.
+    solver, an optional ``"precision"`` entry (non-fp64) through
+    the transprecision solver stack, and an optional ``"backend"``
+    entry (non-numpy) through an accelerated array backend — the
+    scenario seed is unchanged by all four axes, so sweeps compare
+    identical random draws.  The backend always comes from the cell
+    params (never the ``REPRO_BACKEND`` ambient default): the result
+    is cached under the cell's content hash, so the environment must
+    not influence what gets computed.
 
     ``ctx`` (supplied by the runner when a store is attached) enables
     crash-safe execution: every ``ctx["checkpoint_every"]`` steps the
@@ -235,6 +240,7 @@ def run_method_cell(params: dict, ctx: dict | None = None) -> dict:
         s_range=(params["s_min"], params["s_max"]),
         nparts=params.get("nparts", 1),
         precision=params.get("precision", "fp64"),
+        backend=params.get("backend", "numpy"),
         start_state=start_state,
         checkpoint_every=checkpoint_every,
         on_checkpoint=on_checkpoint,

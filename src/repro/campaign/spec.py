@@ -22,6 +22,7 @@ import pathlib
 from dataclasses import asdict, dataclass, field
 
 __all__ = [
+    "DEFAULT_BACKEND",
     "DEFAULT_SCENARIO",
     "WaveSpec",
     "CampaignCell",
@@ -66,6 +67,27 @@ def _validate_scenario(name: str) -> str:
     from repro.workloads.scenario import scenario_by_name
 
     return scenario_by_name(str(name)).name
+
+
+#: The execution backend pre-axis cells implicitly ran (must mirror
+#: :data:`repro.sparse.backend.DEFAULT_BACKEND`; kept literal so the
+#: spec layer stays import-light).
+DEFAULT_BACKEND = "numpy"
+
+
+def _validate_backend(name: str) -> str:
+    """Spec-time backend validation: the name must be *registered*, but
+    need not be *available* here — a campaign spec is data and may be
+    authored on a machine without the accelerated engine installed.
+    Availability is enforced at execution time by the cell executor."""
+    from repro.sparse.backend import backend_names
+
+    name = str(name)
+    if name not in backend_names():
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {backend_names()}"
+        )
+    return name
 
 
 def _canonical(params: dict) -> str:
@@ -142,6 +164,7 @@ def method_cell_params(
     nparts: int = 1,
     precision: str = "fp64",
     scenario: str = DEFAULT_SCENARIO,
+    backend: str = DEFAULT_BACKEND,
 ) -> tuple[dict, str]:
     """Canonical ``(params, label)`` of one ``"method"`` campaign cell.
 
@@ -151,11 +174,11 @@ def method_cell_params(
     :mod:`repro.studies.transprecision`,
     :mod:`repro.studies.scenarios`) all build their cells here, so
     equivalent work always produces the same content hash.  ``nparts``,
-    ``precision`` and ``scenario`` enter the params (and hence the
-    hash) only at non-default values — the content-addition discipline
-    that keeps pre-axis cells cached — and the scenario ``seed`` is
-    independent of all three, so sweeps along any axis compare
-    identical random draws.
+    ``precision``, ``scenario`` and ``backend`` enter the params (and
+    hence the hash) only at non-default values — the content-addition
+    discipline that keeps pre-axis cells cached — and the scenario
+    ``seed`` is independent of all four, so sweeps along any axis
+    compare identical random draws.
     """
     res = tuple(int(x) for x in resolution)
     res_tag = "x".join(map(str, res))
@@ -182,6 +205,9 @@ def method_cell_params(
     if precision != "fp64":
         params["precision"] = _validate_precision(str(precision))
         label += f"/{precision}"
+    if backend != DEFAULT_BACKEND:
+        params["backend"] = _validate_backend(str(backend))
+        label += f"/{backend}"
     return params, label
 
 
@@ -247,6 +273,17 @@ class CampaignSpec:
     #: scenarios to an existing campaign never invalidates cached
     #: random-impulse cells.
     scenarios: tuple[str, ...] = (DEFAULT_SCENARIO,)
+    #: Execution-backend axis: every method additionally runs under each
+    #: registered array backend here (:mod:`repro.sparse.backend`) —
+    #: a *measured*-performance dimension only: numerics are identical
+    #: (numpy bit-exact, accelerated backends to rounding) and the
+    #: modeled traffic/roofline never depends on the backend.  The
+    #: default ``"numpy"`` backend keeps its pre-axis content hash
+    #: (same discipline as ``nparts``/``precision``/``scenarios``), so
+    #: adding backends to an existing campaign never invalidates cached
+    #: reference cells.  Names must be registered at spec time but need
+    #: only be importable at execution time.
+    backends: tuple[str, ...] = (DEFAULT_BACKEND,)
 
     def __post_init__(self) -> None:
         from repro.core.methods import METHODS
@@ -322,6 +359,15 @@ class CampaignSpec:
             _validate_scenario(scen)
         if len(set(self.scenarios)) != len(self.scenarios):
             raise ValueError("duplicate scenario entries")
+        object.__setattr__(
+            self, "backends", tuple(str(b) for b in self.backends)
+        )
+        if not self.backends:
+            raise ValueError("campaign grid has an empty axis")
+        for bk in self.backends:
+            _validate_backend(bk)
+        if len(set(self.backends)) != len(self.backends):
+            raise ValueError("duplicate backend entries")
 
     def _part_axis(self, method: str) -> tuple[int, ...]:
         """The part counts one method expands over (baselines run once)."""
@@ -335,6 +381,7 @@ class CampaignSpec:
             * len(self.resolutions)
             * len(self.precision)
             * len(self.scenarios)
+            * len(self.backends)
             * sum(len(self._part_axis(m)) for m in self.methods)
         )
 
@@ -347,17 +394,20 @@ class CampaignSpec:
             for scen in self.scenarios:
                 for np_ in self._part_axis(method):
                     for prec in self.precision:
-                        params, label = method_cell_params(
-                            model, wave, method, res,
-                            cases=self.cases, steps=self.steps,
-                            module=self.module, eps=self.eps,
-                            s_min=self.s_min, s_max=self.s_max,
-                            seed=self.seed, nparts=np_, precision=prec,
-                            scenario=scen,
-                        )
-                        out.append(
-                            CampaignCell(kind="method", params=params, label=label)
-                        )
+                        for bk in self.backends:
+                            params, label = method_cell_params(
+                                model, wave, method, res,
+                                cases=self.cases, steps=self.steps,
+                                module=self.module, eps=self.eps,
+                                s_min=self.s_min, s_max=self.s_max,
+                                seed=self.seed, nparts=np_, precision=prec,
+                                scenario=scen, backend=bk,
+                            )
+                            out.append(
+                                CampaignCell(
+                                    kind="method", params=params, label=label
+                                )
+                            )
         return out
 
     # -- (de)serialization --------------------------------------------

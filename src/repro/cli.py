@@ -7,6 +7,9 @@ Commands
 ``scenarios``
     List the registered workload scenarios (ground structure x source
     process bundles).
+``backends``
+    List the registered array backends (execution engines for the
+    solver hot loops) and whether each is importable here.
 ``info``
     Build a problem and print its discretization facts.
 ``run``
@@ -31,12 +34,14 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.hardware.specs import MODULES
+    from repro.sparse.backend import backend_names, default_backend_name
     from repro.sparse.precision import PRECISIONS
     from repro.workloads.scenario import DEFAULT_SCENARIO, scenario_names
 
     modules = sorted(MODULES)
     precisions = sorted(PRECISIONS)
     scenarios = list(scenario_names())
+    backends = list(backend_names())
     p = argparse.ArgumentParser(
         prog="repro",
         description="Heterogeneous CPU-GPU time-evolution solver (SC'24 reproduction)",
@@ -45,6 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list ground-structure workloads")
     sub.add_parser("scenarios", help="list registered workload scenarios")
+    sub.add_parser("backends", help="list registered array backends")
 
     info = sub.add_parser("info", help="print problem facts")
     _add_problem_args(info)
@@ -68,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="transprecision storage policy of the solver")
     run.add_argument("--scenario", default=DEFAULT_SCENARIO, choices=scenarios,
                      help="registered workload scenario (see `repro scenarios`)")
+    run.add_argument("--backend", default=default_backend_name(),
+                     choices=backends,
+                     help="array backend executing the solver hot loops "
+                          "(default: $REPRO_BACKEND or 'numpy'; see "
+                          "`repro backends`)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", default=None, help="save result JSON here")
     run.add_argument("--vtk", default=None, help="save final displacement VTK here")
@@ -104,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--scenario", default=DEFAULT_SCENARIO,
                       help="comma-separated workload scenarios, e.g. "
                            "'impulse,fault-rupture' (see `repro scenarios`)")
+    camp.add_argument("--backend", default="numpy",
+                      help="comma-separated array backends for the "
+                           "execution-backend axis, e.g. 'numpy,numba' "
+                           "(see `repro backends`)")
     camp.add_argument("--module", default="single-gh200",
                       choices=modules)
     camp.add_argument("--seed", type=int, default=0)
@@ -183,6 +198,16 @@ def _cmd_scenarios(_args) -> int:
     return 0
 
 
+def _cmd_backends(_args) -> int:
+    from repro.sparse.backend import BACKENDS, backend_names
+
+    for name in backend_names():
+        cls = BACKENDS[name]
+        status = "available" if cls.available() else "unavailable (not installed)"
+        print(f"{name:14s} {cls.description}  [{status}]")
+    return 0
+
+
 def _cmd_info(args) -> int:
     problem = _problem(args)
     mesh = problem.mesh
@@ -218,12 +243,17 @@ def _cmd_run(args) -> int:
     # an empty wave dict resolves to wave_params' defaults — the same
     # values the campaign's w0 family carries, owned in one place
     forces = scen.forces(problem, {}, seed=args.seed, n_cases=args.cases)
-    result = run_method(
-        problem, forces, nt=args.steps, method=args.method,
-        module=_module(args.module), s_range=(args.s_min, args.s_max),
-        cpu_threads=args.threads, nparts=args.nparts,
-        precision=args.precision,
-    )
+    from repro.sparse.backend import BackendUnavailableError
+
+    try:
+        result = run_method(
+            problem, forces, nt=args.steps, method=args.method,
+            module=_module(args.module), s_range=(args.s_min, args.s_max),
+            cpu_threads=args.threads, nparts=args.nparts,
+            precision=args.precision, backend=args.backend,
+        )
+    except BackendUnavailableError as exc:
+        raise SystemExit(f"backend unavailable: {exc}") from exc
     # same steady-state window convention as the campaign executor
     # (non-empty even for --steps 1)
     window = (max(1, args.steps * 5 // 8), args.steps + 1)
@@ -294,6 +324,7 @@ def _campaign_spec(args):
             nparts=tuple(int(p) for p in args.nparts.split(",")),
             precision=tuple(args.precision.split(",")),
             scenarios=tuple(args.scenario.split(",")),
+            backends=tuple(args.backend.split(",")),
         )
     except ValueError as exc:
         raise SystemExit(f"bad campaign grid: {exc}") from exc
@@ -324,6 +355,8 @@ def _cmd_campaign(args) -> int:
         axes += ", precision " + ",".join(spec.precision)
     if len(spec.scenarios) > 1:
         axes += ", scenarios " + ",".join(spec.scenarios)
+    if len(spec.backends) > 1:
+        axes += ", backends " + ",".join(spec.backends)
     print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells ({axes}), "
           f"jobs={args.jobs}\n")
     print(report.render())
@@ -337,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "models": _cmd_models,
         "scenarios": _cmd_scenarios,
+        "backends": _cmd_backends,
         "info": _cmd_info,
         "run": _cmd_run,
         "sensitivity": _cmd_sensitivity,

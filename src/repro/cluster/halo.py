@@ -23,6 +23,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.cluster.partition import PartitionInfo
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.ebe import EBEOperator
 from repro.sparse.precision import FP64, Precision, as_precision
 from repro.util import counters
@@ -154,6 +155,7 @@ class DistributedEBE:
     comm_bytes_per_matvec: float
     _n_dofs: int
     precision: Precision = FP64
+    backend: ArrayBackend | None = None
     _xplan: _ExchangePlan | None = field(default=None, repr=False)
 
     @classmethod
@@ -162,6 +164,7 @@ class DistributedEBE:
         elem_mats: np.ndarray,
         info: PartitionInfo,
         precision: Precision | str | None = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> "DistributedEBE":
         """Partition the constrained element matrices over ``info``.
 
@@ -169,8 +172,15 @@ class DistributedEBE:
         EBE operators store/gather at the format, and the halo wire
         moves storage-precision words, so ``comm_bytes_per_matvec``
         (and every ``halo.exchange`` charge) shrinks with the itemsize.
+
+        ``backend`` is the execution engine the local EBE sweeps (and a
+        ``distributed_pcg`` run on this operator, by default) use; the
+        halo staging itself stays host NumPy — it models the MPI wire,
+        not a device kernel — so exchange arithmetic is bit-identical
+        across backends.
         """
         prec = as_precision(precision)
+        bk = as_backend(backend)
         mesh = info.mesh
         plan = build_halo_plan(info)
         local_ops: list[EBEOperator] = []
@@ -184,7 +194,7 @@ class DistributedEBE:
             local_ops.append(
                 EBEOperator(
                     elem_mats[eids], local_elems, nodes.size, tag="spmv.ebe",
-                    precision=prec,
+                    precision=prec, backend=bk,
                 )
             )
             l2g.append(nodes)
@@ -197,6 +207,7 @@ class DistributedEBE:
             comm_bytes_per_matvec=comm,
             _n_dofs=mesh.n_dofs,
             precision=prec,
+            backend=bk,
         )
 
     @property

@@ -31,6 +31,7 @@ from repro.hardware.transfer import TransferModel
 from repro.predictor.adams_bashforth import AdamsBashforth
 from repro.predictor.adaptive import AdaptiveSController
 from repro.predictor.datadriven import DataDrivenPredictor
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.precision import Precision, as_precision
 from repro.util.timeline import Timeline
 
@@ -196,6 +197,7 @@ class _BaselineDriver:
         eps: float,
         waveform_dofs: np.ndarray | None,
         precision: Precision,
+        backend: ArrayBackend,
     ) -> None:
         self.problem = problem
         self.module = module
@@ -215,6 +217,7 @@ class _BaselineDriver:
                 op_kind="crs",
                 eps=eps,
                 precision=precision,
+                backend=backend,
             )
             for f in forces
         ]
@@ -329,7 +332,10 @@ def _check_state_header(
     """Validate a resume state against the run being started; returns
     the completed step count.  Mismatches fail loudly — resuming a
     checkpoint into a different method/nparts/precision configuration
-    would produce silently wrong numbers."""
+    would produce silently wrong numbers.  The execution *backend* is
+    deliberately absent from the header: checkpoints hold only fp64
+    host state (Newmark kinematics, predictor history), so a state
+    saved under one backend resumes under any other."""
     for key, want in (
         ("method", method),
         ("nparts", int(nparts)),
@@ -408,6 +414,7 @@ def _run_heterogeneous(
     waveform_dofs: np.ndarray | None,
     nparts: int,
     precision: Precision,
+    backend: ArrayBackend,
     start_state: dict | None,
     checkpoint_every: int,
     on_checkpoint: Callable[[dict], None] | None,
@@ -434,7 +441,9 @@ def _run_heterogeneous(
         info = PartitionInfo(
             problem.mesh, partition_elements(problem.mesh, nparts)
         )
-        dist = DistributedEBE.from_elements(problem.Ae, info, precision=precision)
+        dist = DistributedEBE.from_elements(
+            problem.Ae, info, precision=precision, backend=backend
+        )
         preconds = part_block_jacobi(dist)
 
     def make_set(fs: Sequence[Callable[[int], np.ndarray]]) -> CaseSet:
@@ -456,6 +465,7 @@ def _run_heterogeneous(
                 op_kind=op_kind,
                 eps=eps,
                 precision=precision,
+                backend=backend,
                 nparts=nparts,
                 link=_part_link(module),
                 dist=dist,
@@ -468,6 +478,7 @@ def _run_heterogeneous(
             op_kind=op_kind,
             eps=eps,
             precision=precision,
+            backend=backend,
         )
 
     flop_f, bw_f = cpu_share_factors(cpu_threads)
@@ -528,6 +539,7 @@ def run_method(
     waveform_dofs: np.ndarray | None = None,
     nparts: int = 1,
     precision: Precision | str | None = None,
+    backend: "ArrayBackend | str | None" = None,
     start_state: dict | None = None,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[dict], None] | None = None,
@@ -560,6 +572,15 @@ def run_method(
         modeled — at this width; the time integration, predictors and
         CG recurrences stay fp64.  The fp64 default is bit-identical
         to the precision-unaware driver.
+    backend : execution engine for the sparse hot paths
+        (:class:`~repro.sparse.backend.ArrayBackend`, registry name, or
+        ``None`` for the ambient default — ``REPRO_BACKEND`` env
+        override, else ``numpy``).  Changes *measured* wall time only:
+        the numpy backend is bit-identical to the pre-seam driver, and
+        modeled device/communication times, traffic tallies, memory
+        estimates and energy numbers are backend-independent.
+        Checkpoints are backend-agnostic: a state saved under one
+        backend resumes under any other.
     start_state : a state document produced by ``on_checkpoint`` (or
         loaded via :func:`repro.io.results.load_pipeline_state`): the
         run resumes from the checkpointed step and only executes the
@@ -587,12 +608,13 @@ def run_method(
             f"{PARTITIONABLE_METHODS}"
         )
     prec = as_precision(precision)
+    bk = as_backend(backend)
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every must be >= 0")
     if method in ("crs-cg@cpu", "crs-cg@gpu"):
         device = method.split("@", 1)[1]
         driver = _BaselineDriver(
-            problem, forces, module, device, eps, waveform_dofs, prec
+            problem, forces, module, device, eps, waveform_dofs, prec, bk
         )
         _run_chunks(
             driver,
@@ -604,6 +626,6 @@ def run_method(
     op_kind = "ebe" if method.startswith("ebe") else "crs"
     return _run_heterogeneous(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
-        cpu_threads, waveform_dofs, nparts, prec,
+        cpu_threads, waveform_dofs, nparts, prec, bk,
         start_state, checkpoint_every, on_checkpoint,
     )

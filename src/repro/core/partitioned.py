@@ -98,15 +98,19 @@ class PartitionedCaseSet(CaseSet):
             mesh = self.problem.mesh
             info = PartitionInfo(mesh, partition_elements(mesh, self.nparts))
             self.dist = DistributedEBE.from_elements(
-                self.problem.Ae, info, precision=self.precision
+                self.problem.Ae, info, precision=self.precision,
+                backend=self.backend,
             )
         elif (
             self.dist.nparts != self.nparts
             or self.dist.info.mesh is not self.problem.mesh
             or self.dist.precision != self.precision
+            or (self.dist.backend is not None
+                and self.dist.backend.name != self.backend.name)
         ):
             raise ValueError(
-                "shared dist does not match this problem/nparts/precision"
+                "shared dist does not match this problem/nparts/"
+                "precision/backend"
             )
         if self.preconds is None:
             self.preconds = part_block_jacobi(self.dist)
@@ -122,6 +126,7 @@ class PartitionedCaseSet(CaseSet):
             eps=self.eps,
             workspace=self._dws,
             precision=self.precision,
+            backend=self.backend,
         )
 
     # -- cost model -----------------------------------------------------

@@ -26,6 +26,7 @@ from repro.fem.newmark import NewmarkState
 from repro.hardware.power import PowerModel
 from repro.hardware.roofline import DeviceModel
 from repro.hardware.transfer import TransferModel
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.cg import CGResult, PCGWorkspace, pcg
 from repro.sparse.precision import Precision, as_precision
 from repro.util.counters import KernelTally, tally_scope
@@ -49,6 +50,11 @@ class CaseSet:
     storage policy of the solver (operator values, block-Jacobi
     inverses and CG working vectors); the Newmark states, the RHS
     build and the predictors stay fp64 — the FP64-accurate outer loop.
+    ``backend`` is the execution engine of the solver hot paths
+    (:class:`~repro.sparse.backend.ArrayBackend` or registry name;
+    ``None`` resolves the ambient default).  The ``numpy`` backend is
+    bit-identical to the pre-seam pipeline, and modeled times are
+    backend-independent.
     """
 
     problem: ElasticProblem
@@ -57,6 +63,7 @@ class CaseSet:
     op_kind: str = "ebe"
     eps: float = 1e-8
     precision: Precision | str | None = None
+    backend: ArrayBackend | str | None = None
     states: list[NewmarkState] = field(default_factory=list)
     _pcg_ws: PCGWorkspace = field(default_factory=PCGWorkspace, repr=False)
 
@@ -66,6 +73,7 @@ class CaseSet:
         if self.op_kind not in ("ebe", "crs"):
             raise ValueError("op_kind must be 'ebe' or 'crs'")
         self.precision = as_precision(self.precision)
+        self.backend = as_backend(self.backend)
         if not self.states:
             self.states = [self.problem.zero_state() for _ in self.forces]
 
@@ -75,9 +83,9 @@ class CaseSet:
 
     def _operator(self):
         return (
-            self.problem.ebe_operator(self.precision)
+            self.problem.ebe_operator(self.precision, self.backend)
             if self.op_kind == "ebe"
-            else self.problem.crs_operator(self.precision)
+            else self.problem.crs_operator(self.precision, self.backend)
         )
 
     def _solve_system(self, B: np.ndarray, guesses: np.ndarray) -> CGResult:
@@ -87,10 +95,11 @@ class CaseSet:
             self._operator(),
             B,
             x0=guesses,
-            precond=self.problem.preconditioner(self.precision),
+            precond=self.problem.preconditioner(self.precision, self.backend),
             eps=self.eps,
             workspace=self._pcg_ws,
             precision=self.precision,
+            backend=self.backend,
         )
 
     # -- timing hooks (overridden by PartitionedCaseSet) ---------------

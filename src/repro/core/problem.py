@@ -25,6 +25,7 @@ from repro.fem.elements import (
 from repro.fem.material import lame_parameters, rayleigh_coefficients
 from repro.fem.mesh import Tet10Mesh
 from repro.fem.newmark import NewmarkBeta, NewmarkState
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.bcrs import BlockCRS
 from repro.sparse.ebe import EBEOperator
 from repro.sparse.precision import Precision, as_precision
@@ -70,32 +71,48 @@ class ElasticProblem:
 
     # -- operators (lazy, cached) -------------------------------------
     @staticmethod
-    def _op_key(base: str, prec: Precision) -> str:
-        """Cache key per (operator, storage precision); fp64 keeps the
-        historical bare key."""
-        return base if prec.is_fp64 else f"{base}@{prec.name}"
+    def _op_key(base: str, prec: Precision,
+                backend: ArrayBackend | None = None) -> str:
+        """Cache key per (operator, storage precision, backend);
+        fp64 on the numpy backend keeps the historical bare key."""
+        key = base if prec.is_fp64 else f"{base}@{prec.name}"
+        if backend is not None and backend.name != "numpy":
+            key = f"{key}#{backend.name}"
+        return key
 
-    def crs_operator(self, precision: Precision | str | None = None) -> BlockCRS:
+    def crs_operator(
+        self,
+        precision: Precision | str | None = None,
+        backend: "ArrayBackend | str | None" = None,
+    ) -> BlockCRS:
         """Effective matrix in 3x3 block CRS (the baseline storage),
-        optionally held at a transprecision storage policy."""
+        optionally held at a transprecision storage policy and executed
+        by a non-default backend."""
         prec = as_precision(precision)
-        key = self._op_key("A_crs", prec)
+        bk = as_backend(backend)
+        key = self._op_key("A_crs", prec, bk)
         if key not in self._cache:
             self._cache[key] = BlockCRS(
                 assemble_bsr(self.Ae, self.mesh.elems, self.n_nodes),
-                tag="spmv.crs", precision=prec,
+                tag="spmv.crs", precision=prec, backend=bk,
             )
         return self._cache[key]
 
-    def ebe_operator(self, precision: Precision | str | None = None) -> EBEOperator:
+    def ebe_operator(
+        self,
+        precision: Precision | str | None = None,
+        backend: "ArrayBackend | str | None" = None,
+    ) -> EBEOperator:
         """Effective matrix applied matrix-free (Eq. 8/9), optionally
-        held at a transprecision storage policy."""
+        held at a transprecision storage policy and executed by a
+        non-default backend."""
         prec = as_precision(precision)
-        key = self._op_key("A_ebe", prec)
+        bk = as_backend(backend)
+        key = self._op_key("A_ebe", prec, bk)
         if key not in self._cache:
             self._cache[key] = EBEOperator(
                 self.Ae, self.mesh.elems, self.n_nodes, tag="spmv.ebe",
-                precision=prec,
+                precision=prec, backend=bk,
             )
         return self._cache[key]
 
@@ -125,18 +142,25 @@ class ElasticProblem:
                 )
         return self._cache[key]
 
-    def preconditioner(self, precision: Precision | str | None = None) -> BlockJacobi:
+    def preconditioner(
+        self,
+        precision: Precision | str | None = None,
+        backend: "ArrayBackend | str | None" = None,
+    ) -> BlockJacobi:
         """3x3 block-Jacobi of the constrained effective matrix, its
-        block inverses stored at the requested precision."""
+        block inverses stored at the requested precision and applied
+        by the requested backend."""
         prec = as_precision(precision)
-        key = self._op_key("precond", prec)
+        bk = as_backend(backend)
+        key = self._op_key("precond", prec, bk)
         if key not in self._cache:
             # Diagonal blocks come matrix-free so the EBE path never
             # needs the assembled matrix; they are taken from the
             # matching-precision operator so the inverted blocks see
             # exactly the values the solver applies.
             self._cache[key] = BlockJacobi(
-                self.ebe_operator(prec).diagonal_blocks(), precision=prec
+                self.ebe_operator(prec, bk).diagonal_blocks(),
+                precision=prec, backend=bk,
             )
         return self._cache[key]
 

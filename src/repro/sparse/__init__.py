@@ -15,6 +15,16 @@ FP64-accurate outer loop), and the analytic per-kernel flop/byte
 traffic models that feed the hardware roofline.
 """
 
+from repro.sparse.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    as_backend,
+    available_backend_names,
+    backend_by_name,
+    backend_names,
+    default_backend_name,
+    register_backend,
+)
 from repro.sparse.bcrs import BlockCRS
 from repro.sparse.precision import (
     FP21,
@@ -36,6 +46,14 @@ from repro.sparse.ebe import EBEOperator
 from repro.sparse.traffic import crs_traffic, ebe_traffic, vector_traffic
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "as_backend",
+    "available_backend_names",
+    "backend_by_name",
+    "backend_names",
+    "default_backend_name",
+    "register_backend",
     "BlockCRS",
     "BlockJacobi",
     "CGResult",

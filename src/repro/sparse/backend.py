@@ -1,0 +1,415 @@
+"""Pluggable array-backend execution seam for the sparse hot paths.
+
+The reproduction executes every kernel in NumPy while device time is
+*modeled* from analytic traffic tallies.  This module is the seam that
+separates the two concerns: the solver hot loops (``cg``, ``ebe``,
+``bcrs``, ``precond``, ``distributed``) are written purely against the
+:class:`ArrayBackend` primitive set below, and a registered backend
+decides how those primitives execute — reference NumPy, cache-blocked
+NumPy, Numba-jitted parallel kernels, or (experimentally) CuPy.  The
+*modeled* flop/byte tallies (:mod:`repro.sparse.traffic`) are charged
+by the operator wrappers outside the seam, so they are identical for
+every backend: measured wall time moves with the backend, modeled
+device time does not — which is exactly the modeled-vs-measured
+validation axis the backends exist to open.
+
+Mirroring CoCoNuT's ``solver_wrappers/`` pattern (one interface,
+per-engine wrappers), backends register by name in a strict registry
+(:func:`register_backend` / :func:`backend_by_name`, loud on unknown
+names like ``scenario_by_name``).  Contracts:
+
+* ``numpy`` — the reference.  Every primitive performs the exact NumPy
+  operations the pre-seam hot loops performed, in the same order, so
+  the default execution is **bit-identical** to the historical code
+  (the committed golden fixtures pin this).
+* ``numpy-blocked`` — always-available variant that runs the column
+  reductions in cache-sized row blocks.  Elementwise primitives stay
+  bit-identical; dot products regroup their summation, so this backend
+  exercises the norm-scaled-tolerance parity contract accelerated
+  backends are held to, with no optional dependency.
+* ``numba`` / ``cupy`` — accelerated engines, registered always but
+  *available* only when their import succeeds
+  (:meth:`ArrayBackend.available`); resolving an unavailable backend
+  raises :class:`BackendUnavailableError` so callers (and tests) can
+  skip cleanly instead of failing.
+
+The ambient default is ``numpy``; the ``REPRO_BACKEND`` environment
+variable overrides it wherever a backend is resolved from ``None``
+(library entry points, the CLI flags' defaults).  Campaign cells are
+the exception: their executor always receives an explicit backend name
+from the cell parameters, never the environment — a content-addressed
+cache must not change meaning with ambient state.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+
+import numpy as np
+
+try:  # scipy's C kernel that accumulates A @ X into a caller buffer
+    from scipy.sparse import _sparsetools as _spt
+
+    _csr_matvecs = getattr(_spt, "csr_matvecs", None)
+except ImportError:  # pragma: no cover - scipy always ships it today
+    _csr_matvecs = None
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "BlockedNumpyBackend",
+    "register_backend",
+    "backend_by_name",
+    "backend_names",
+    "available_backend_names",
+    "as_backend",
+    "default_backend_name",
+]
+
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend's engine is not importable here.
+
+    Distinct from the ``ValueError`` an *unknown* name raises: the name
+    is valid, the environment just lacks the optional dependency —
+    callers (CI jobs, parity tests) catch this to skip, not fail.
+    """
+
+
+class ArrayBackend(abc.ABC):
+    """Primitive set every sparse hot loop is written against.
+
+    All primitives operate on C-contiguous fp64 host ``numpy`` arrays
+    (accelerated backends may mirror to device storage internally) and
+    write results **in place** into caller-owned buffers — the seam
+    preserves the repo's allocation-free hot-loop discipline.  Blocked
+    vector primitives treat ``(n, r)`` arrays as ``r`` independent
+    columns (the fused multi-RHS layout).
+
+    Subclass contract: the reference :class:`NumpyBackend` implements
+    every primitive with the exact operations the pre-seam code used;
+    accelerated backends may regroup/parallelize arithmetic and are
+    held to norm-scaled-tolerance parity, never bit parity.
+    """
+
+    #: registry name (``backend_by_name`` key); subclasses override.
+    name: str = ""
+    #: one-line human description for ``repro backends``.
+    description: str = ""
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend's engine can execute here (its optional
+        dependency imports).  Registration is unconditional; resolution
+        of an unavailable backend raises
+        :class:`BackendUnavailableError`."""
+        return True
+
+    # -- workspace allocation -----------------------------------------
+    def empty(self, shape) -> np.ndarray:
+        """Uninitialized workspace buffer owned by this backend."""
+        return np.empty(shape)
+
+    def zeros(self, shape) -> np.ndarray:
+        """Zero-filled workspace buffer owned by this backend."""
+        return np.zeros(shape)
+
+    # -- blocked streaming primitives ---------------------------------
+    @abc.abstractmethod
+    def copy(self, dst: np.ndarray, src: np.ndarray) -> np.ndarray:
+        """``dst[...] = src``; returns ``dst``."""
+
+    @abc.abstractmethod
+    def fill(self, a: np.ndarray, value: float) -> np.ndarray:
+        """``a[...] = value``; returns ``a``."""
+
+    @abc.abstractmethod
+    def subtract(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out = a - b`` elementwise."""
+
+    @abc.abstractmethod
+    def xpay_cols(self, P: np.ndarray, beta: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        """``P = P * beta + Z`` with per-column scales ``beta`` —
+        the CG search-direction update (two separately rounded ops)."""
+
+    @abc.abstractmethod
+    def axpy_cols(
+        self, Y: np.ndarray, s: np.ndarray, V: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        """``Y += s * V`` with per-column scales ``s``, using the
+        caller's ``(n, r)`` scratch ``work`` (no allocation)."""
+
+    @abc.abstractmethod
+    def axmy_cols(
+        self, Y: np.ndarray, s: np.ndarray, V: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        """``Y -= s * V`` with per-column scales ``s`` (scratch as in
+        :meth:`axpy_cols`)."""
+
+    @abc.abstractmethod
+    def colwise_dot(self, V: np.ndarray, W: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Per-column dot products ``out[j] = sum_i V[i,j] W[i,j]``."""
+
+    def colwise_norm(self, V: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Per-column 2-norms into ``out`` (dot then in-place sqrt)."""
+        self.colwise_dot(V, V, out)
+        return self.sqrt_(out)
+
+    @abc.abstractmethod
+    def sqrt_(self, a: np.ndarray) -> np.ndarray:
+        """In-place elementwise square root."""
+
+    def quantize_store(self, a: np.ndarray, precision) -> np.ndarray:
+        """Round ``a`` to ``precision``'s storage format in place — the
+        one quantize-on-store code path every hot loop (cg, distributed,
+        ebe, bcrs, precond) routes through.  fp64 is a no-op."""
+        return precision.quantize_(a)
+
+    # -- gather / apply / scatter (the EBE sweep) ---------------------
+    @abc.abstractmethod
+    def gather_rows(self, X: np.ndarray, idx: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out = X[idx]`` row gather (``idx`` may be multi-dim; all
+        indices pre-validated in range by the caller)."""
+
+    @abc.abstractmethod
+    def batched_matmul(self, A: np.ndarray, X: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Batched dense mat-vec ``out[e] = A[e] @ X[e]`` over the
+        leading axis (the per-element 30x30 apply)."""
+
+    @abc.abstractmethod
+    def segment_sum(
+        self, contrib: np.ndarray, starts: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Row-segment sums: ``out[s] = contrib[starts[s]:starts[s+1]].sum(0)``
+        (last segment runs to the end) — the deterministic scatter
+        reduction."""
+
+    @abc.abstractmethod
+    def scatter_rows(
+        self, Y: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """``Y[...] = 0`` then ``Y[targets] = values`` (each target row
+        written exactly once)."""
+
+    # -- operator kernels ---------------------------------------------
+    @abc.abstractmethod
+    def block_diag_matvec(
+        self, inv: np.ndarray, R: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Apply ``(nb, 3, 3)`` diagonal blocks to ``(3 nb, r)`` columns
+        (the block-Jacobi kernel); ``R``/``out`` C-contiguous."""
+
+    @abc.abstractmethod
+    def spmv_csr(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        X: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Multi-vector CSR SpMV ``out = A @ X`` into the caller
+        buffer (``X``/``out`` shaped ``(n, r)``)."""
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: the exact NumPy operations the pre-seam hot
+    loops performed, in the same order — bit-identical to the
+    historical implementation (asserted by the golden fixtures)."""
+
+    name = "numpy"
+    description = "reference NumPy execution (bit-exact default)"
+
+    # -- blocked streaming primitives ---------------------------------
+    def copy(self, dst, src):
+        np.copyto(dst, src)
+        return dst
+
+    def fill(self, a, value):
+        a.fill(value)
+        return a
+
+    def subtract(self, a, b, out):
+        np.subtract(a, b, out=out)
+        return out
+
+    def xpay_cols(self, P, beta, Z):
+        P *= beta
+        P += Z
+        return P
+
+    def axpy_cols(self, Y, s, V, work):
+        np.multiply(V, s, out=work)
+        Y += work
+        return Y
+
+    def axmy_cols(self, Y, s, V, work):
+        np.multiply(V, s, out=work)
+        Y -= work
+        return Y
+
+    def colwise_dot(self, V, W, out):
+        return np.einsum("ij,ij->j", V, W, out=out)
+
+    def sqrt_(self, a):
+        return np.sqrt(a, out=a)
+
+    # -- gather / apply / scatter -------------------------------------
+    def gather_rows(self, X, idx, out):
+        # mode="clip" writes straight into `out` (mode="raise" rechecks
+        # the indices through a temporary); callers validate indices
+        # in-range at construction.
+        np.take(X, idx, axis=0, out=out, mode="clip")
+        return out
+
+    def batched_matmul(self, A, X, out):
+        np.matmul(A, X, out=out)
+        return out
+
+    def segment_sum(self, contrib, starts, out):
+        np.add.reduceat(contrib, starts, axis=0, out=out)
+        return out
+
+    def scatter_rows(self, Y, targets, values):
+        Y.fill(0.0)
+        Y[targets] = values
+        return Y
+
+    # -- operator kernels ---------------------------------------------
+    def block_diag_matvec(self, inv, R, out):
+        nb = inv.shape[0]
+        r = R.shape[-1]
+        np.matmul(inv, R.reshape(nb, 3, r), out=out.reshape(nb, 3, r))
+        return out
+
+    def spmv_csr(self, indptr, indices, data, X, out):
+        n, r = out.shape
+        if (
+            _csr_matvecs is not None
+            and X.flags.c_contiguous
+            and out.flags.c_contiguous
+            and X.dtype == np.float64
+        ):
+            out.fill(0.0)  # csr_matvecs accumulates: y += A @ x
+            _csr_matvecs(n, X.shape[0], r, indptr, indices, data,
+                         X.ravel(), out.ravel())
+            return out
+        import scipy.sparse as sp  # fallback: wrap without copying
+
+        m = sp.csr_matrix((data, indices, indptr), shape=(n, X.shape[0]))
+        np.copyto(out, m @ X)
+        return out
+
+
+class BlockedNumpyBackend(NumpyBackend):
+    """Cache-blocked column reductions on the NumPy substrate.
+
+    Streams the dot/norm reductions in row blocks of
+    :attr:`block_rows`, accumulating per-block partial sums — a
+    different (but deterministic) summation grouping than the fused
+    einsum, so results agree with the reference to rounding only.
+    Elementwise primitives are inherited untouched and stay
+    bit-identical.  Always available: this is the backend the parity
+    harness uses to exercise the accelerated-backend tolerance
+    contract without optional dependencies.
+    """
+
+    name = "numpy-blocked"
+    description = "cache-blocked NumPy column reductions (parity reference)"
+    block_rows = 4096
+
+    def colwise_dot(self, V, W, out):
+        out[...] = 0.0
+        nb = self.block_rows
+        for lo in range(0, V.shape[0], nb):
+            out += np.einsum("ij,ij->j", V[lo:lo + nb], W[lo:lo + nb])
+        return out
+
+
+#: Strict registry: name -> backend class (instances cached lazily).
+BACKENDS: dict[str, type[ArrayBackend]] = {}
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def register_backend(cls: type[ArrayBackend]) -> type[ArrayBackend]:
+    """Register a backend class under ``cls.name`` (usable as a class
+    decorator).  Duplicate names fail loudly — silently shadowing an
+    execution engine is how wrong numbers get attributed."""
+    name = cls.name
+    if not name:
+        raise ValueError("backend class needs a non-empty `name`")
+    if name in BACKENDS and BACKENDS[name] is not cls:
+        raise ValueError(f"backend {name!r} already registered")
+    BACKENDS[name] = cls
+    return cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, sorted (available or not)."""
+    return tuple(sorted(BACKENDS))
+
+
+def available_backend_names() -> tuple[str, ...]:
+    """Registered backends whose engine imports here, sorted."""
+    return tuple(n for n in backend_names() if BACKENDS[n].available())
+
+
+def backend_by_name(name: str) -> ArrayBackend:
+    """Resolve a backend instance by registry name.
+
+    Unknown names raise ``ValueError`` (a typo'd backend must never
+    silently execute NumPy); known-but-unavailable engines raise
+    :class:`BackendUnavailableError` so callers can skip cleanly.
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {backend_names()}"
+        ) from None
+    if not cls.available():
+        raise BackendUnavailableError(
+            f"backend {name!r} is registered but its engine is not "
+            f"importable here (try `pip install {name}`); available: "
+            f"{available_backend_names()}"
+        )
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _INSTANCES[name] = cls()
+    return inst
+
+
+def default_backend_name() -> str:
+    """The ambient default backend name: ``REPRO_BACKEND`` when set
+    (and non-empty), else ``"numpy"``."""
+    return os.environ.get("REPRO_BACKEND") or DEFAULT_BACKEND
+
+
+def as_backend(spec: "ArrayBackend | str | None" = None) -> ArrayBackend:
+    """Resolve a backend from an instance, a name, or ``None`` (the
+    ambient default — ``REPRO_BACKEND`` env override, else numpy)."""
+    if spec is None:
+        spec = default_backend_name()
+    if isinstance(spec, ArrayBackend):
+        return spec
+    return backend_by_name(spec)
+
+
+register_backend(NumpyBackend)
+register_backend(BlockedNumpyBackend)
+
+# Accelerated engines register unconditionally (their *availability*
+# is probed at resolution time); the imports are cheap because the
+# engine import itself happens lazily inside each module.
+from repro.sparse.backend_numba import NumbaBackend  # noqa: E402
+
+register_backend(NumbaBackend)
+
+from repro.sparse.backend_cupy import CupyBackend  # noqa: E402
+
+register_backend(CupyBackend)

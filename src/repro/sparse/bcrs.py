@@ -12,16 +12,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import crs_traffic
 from repro.util import counters
-
-try:  # scipy's C kernel that accumulates A @ X into a caller buffer
-    from scipy.sparse import _sparsetools as _spt
-
-    _csr_matvecs = getattr(_spt, "csr_matvecs", None)
-except ImportError:  # pragma: no cover - scipy always ships it today
-    _csr_matvecs = None
 
 __all__ = ["BlockCRS"]
 
@@ -37,6 +31,10 @@ class BlockCRS:
         quantized once at construction and the per-matvec traffic is
         charged at the policy's itemsize.  Default fp64 (bit-identical
         to the precision-unaware matrix).
+    backend : execution engine for the block ``out=`` SpMV path
+        (:class:`~repro.sparse.backend.ArrayBackend`, registry name,
+        or ``None`` for the ambient default); the modeled traffic is
+        backend-independent.
     """
 
     def __init__(
@@ -44,12 +42,14 @@ class BlockCRS:
         bsr: sp.bsr_matrix,
         tag: str = "spmv.crs",
         precision: Precision | str | None = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if not sp.issparse(bsr):
             raise TypeError("expected a scipy sparse matrix")
         bsr = bsr.tobsr(blocksize=(3, 3))
         bsr.sort_indices()
         self.precision = as_precision(precision)
+        self.backend = as_backend(backend)
         if not self.precision.is_fp64:
             # tobsr() returns the input itself when already 3x3-blocked:
             # quantize a private copy, never the caller's matrix
@@ -119,21 +119,22 @@ class BlockCRS:
         if out.shape != (self.n, n_rhs) or x.ndim != 2:
             raise ValueError(f"out must match block shape {(self.n, n_rhs)}")
         if (
-            _csr_matvecs is None
-            or not x.flags.c_contiguous
+            not x.flags.c_contiguous
             or not out.flags.c_contiguous
             or x.dtype != np.float64
         ):
             np.copyto(out, self._m @ x)
             return out
+        return self._apply_block(x, out)
+
+    def _apply_block(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """The in-place multi-vector SpMV hot path, pure backend
+        primitives over the lazily-built scalar CSR twin."""
         if self._csr is None:
             self._csr = self._m.tocsr()
             self._csr.sort_indices()
         c = self._csr
-        out.fill(0.0)  # csr_matvecs accumulates: y += A @ x
-        _csr_matvecs(self.n, self.n, n_rhs, c.indptr, c.indices, c.data,
-                     x.ravel(), out.ravel())
-        return out
+        return self.backend.spmv_csr(c.indptr, c.indices, c.data, x, out)
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)

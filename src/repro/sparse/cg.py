@@ -16,16 +16,24 @@ The loop body is allocation-free: all ``(n, r)`` working blocks live
 in a :class:`PCGWorkspace` (reusable across solves — the campaign
 runner and the pipeline hold one per case set), operators that accept
 ``out=`` write into them directly, and the per-iteration vector
-updates run in place.  Only the returned solution and the per-call
-result arrays are freshly allocated.
+updates run in place.
+
+Every vector operation in the loop routes through an
+:class:`~repro.sparse.backend.ArrayBackend` (``backend=``): the
+``numpy`` default executes the exact historical call sequence
+(bit-identical, golden-pinned), accelerated backends swap the
+execution engine without touching the algorithm.  The *modeled*
+per-iteration traffic is charged here in the loop, outside the seam,
+so the roofline tally is identical for every backend.
 
 Transprecision storage (``precision=``): the CG *recurrences* — dot
 products, the scalar dance, the solution update — always run at fp64,
 but the working vectors ``r, z, p, q`` are rounded to the storage
-format on every store (the group's FP32/FP21 trick), and the modeled
-vector traffic is charged at the storage itemsize.  Under the default
-``fp64`` policy every quantization is a no-op and the solve is
-bit-identical to the historical fp64-only implementation.
+format on every store (the group's FP32/FP21 trick) via the backend's
+``quantize_store`` primitive, and the modeled vector traffic is
+charged at the storage itemsize.  Under the default ``fp64`` policy
+every quantization is a no-op and the solve is bit-identical to the
+historical fp64-only implementation.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import vector_traffic
 from repro.util import counters
@@ -62,23 +71,27 @@ class PCGWorkspace:
     """Preallocated ``(n, r)`` blocks for :func:`pcg`.
 
     One instance serves any sequence of solves; buffers are
-    (re)allocated only when the problem shape changes.  Holding one
-    across time steps keeps the steady-state solver loop free of
-    heap traffic.
+    (re)allocated only when the problem shape (or the owning backend)
+    changes.  Holding one across time steps keeps the steady-state
+    solver loop free of heap traffic.
     """
 
-    __slots__ = ("n", "r", "R", "Z", "P", "Q", "T",
+    __slots__ = ("n", "r", "backend_name", "R", "Z", "P", "Q", "T",
                  "rho", "rho_prev", "alpha", "beta", "relres", "work")
 
     def __init__(self) -> None:
         self.n = self.r = -1
+        self.backend_name = ""
 
-    def ensure(self, n: int, r: int) -> None:
-        if (self.n, self.r) == (n, r):
+    def ensure(self, n: int, r: int,
+               backend: "ArrayBackend | None" = None) -> None:
+        bk = as_backend("numpy") if backend is None else backend
+        if (self.n, self.r, self.backend_name) == (n, r, bk.name):
             return
-        self.n, self.r = n, r
+        self.n, self.r, self.backend_name = n, r, bk.name
         for name in ("R", "Z", "P", "Q", "T"):
-            setattr(self, name, np.empty((n, r)))
+            setattr(self, name, bk.empty((n, r)))
+        # CG scalars stay host-side fp64 regardless of backend
         for name in ("rho", "rho_prev", "alpha", "beta", "relres", "work"):
             setattr(self, name, np.empty(r))
 
@@ -129,18 +142,43 @@ def _make_apply(op, method_name: str):
 
 
 class _FusedReduction:
-    """Default reduction: one contiguous einsum over all rows (the
-    single-address-space behaviour :func:`pcg` always had)."""
+    """Default reduction: one contiguous sweep over all rows (the
+    single-address-space behaviour :func:`pcg` always had), executed
+    by the active backend's column-dot primitive."""
 
-    @staticmethod
-    def dot(V: np.ndarray, W: np.ndarray, out: np.ndarray) -> np.ndarray:
-        return np.einsum("ij,ij->j", V, W, out=out)
+    def __init__(self, backend: ArrayBackend) -> None:
+        self.backend = backend
 
-    @staticmethod
-    def norm(V: np.ndarray, out: np.ndarray) -> np.ndarray:
+    def dot(self, V: np.ndarray, W: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return self.backend.colwise_dot(V, W, out)
+
+    def norm(self, V: np.ndarray, out: np.ndarray) -> np.ndarray:
         """Column 2-norms of ``V`` into the ``(r,)`` buffer ``out``."""
-        np.einsum("ij,ij->j", V, V, out=out)
-        return np.sqrt(out, out=out)
+        return self.backend.colwise_norm(V, out)
+
+
+def _guarded_divide(num: np.ndarray, den: np.ndarray, out: np.ndarray,
+                    done: np.ndarray) -> np.ndarray:
+    """``out = num / den`` columnwise with the CG scalar guard:
+    zero denominators (converged or zero columns would produce
+    0/0 -> NaN and poison the block update) and already-converged
+    columns are frozen at 0.  Mutates ``den`` (a scratch buffer)."""
+    den[den == 0.0] = 1.0
+    np.divide(num, den, out=out)
+    out[done] = 0.0
+    return out
+
+
+def _charge_vec_iter(n: int, r: int, prec: Precision) -> None:
+    """Modeled per-iteration vector traffic (backend-independent).
+
+    13 streams/entry per iteration: the 11 on the r/z/p/q side move
+    storage-precision words, the solution x (one read + one write)
+    stays fp64 — the same split estimate_memory footprints."""
+    w = vector_traffic(n, n_reads=9, n_writes=2, flops_per_entry=12.0,
+                       value_bytes=prec.itemsize)
+    x_bytes = 8.0 * n * 2
+    counters.charge("cg.vec", w.flops * r, (w.bytes + x_bytes) * r)
 
 
 def pcg(
@@ -154,6 +192,7 @@ def pcg(
     workspace: PCGWorkspace | None = None,
     reduction=None,
     precision: Precision | str | None = None,
+    backend: "ArrayBackend | str | None" = None,
 ) -> CGResult:
     """Solve ``A x = b`` (column-wise for block ``b``) by preconditioned CG.
 
@@ -172,7 +211,7 @@ def pcg(
         across solves of one case set to keep the loop allocation-free.
     reduction : optional dot-product strategy with
         ``dot(V, W, out)`` / ``norm(V, out)``; defaults to one fused
-        einsum over all rows.  The distributed solver passes
+        sweep over all rows.  The distributed solver passes
         :class:`~repro.sparse.distributed.PartitionedReduction` here so
         the fused reference reduces in the exact same (deterministic,
         canonical part order) grouping as the part-local loop — the
@@ -184,9 +223,14 @@ def pcg(
         no-op — the solve is bit-identical to the fp64-only solver.
         The right-hand side, the solution and all CG scalars stay fp64
         (the FP64-accurate outer loop).
+    backend : execution engine (:class:`~repro.sparse.backend.ArrayBackend`,
+        registry name, or ``None`` for the ambient default — the
+        ``REPRO_BACKEND`` env override, else ``numpy``).  The ``numpy``
+        backend is bit-identical to the pre-seam solver; the modeled
+        traffic is the same for every backend.
     """
+    bk = as_backend(backend)
     prec = as_precision(precision)
-    q = prec.quantize_
     b = np.asarray(b, dtype=float)
     single = b.ndim == 1
     B = b[:, None] if single else b
@@ -194,7 +238,7 @@ def pcg(
     X = _as_block(x0, n, r)
 
     ws = workspace if workspace is not None else PCGWorkspace()
-    ws.ensure(n, r)
+    ws.ensure(n, r, backend=bk)
     R, Z, P, Q, T = ws.R, ws.Z, ws.P, ws.Q, ws.T
     rho, rho_prev, alpha, beta = ws.rho, ws.rho_prev, ws.alpha, ws.beta
     relres, work = ws.relres, ws.work
@@ -207,7 +251,7 @@ def pcg(
     else:
         apply_M = _make_apply(precond, "__nonexistent__")  # matrix path
 
-    red = _FusedReduction() if reduction is None else reduction
+    red = _FusedReduction(bk) if reduction is None else reduction
     if reduction is None:
         norm_b = np.linalg.norm(B, axis=0)
     else:
@@ -219,8 +263,8 @@ def pcg(
     denom = np.where(zero_rhs, 1.0, norm_b)
 
     apply_A(X, out=R)
-    np.subtract(B, R, out=R)
-    q(R)
+    bk.subtract(B, R, out=R)
+    bk.quantize_store(R, prec)
     red.norm(R, out=relres)
     relres /= denom
     initial_relres = relres.copy()
@@ -230,46 +274,31 @@ def pcg(
     done = (relres < eps) | zero_rhs
     iterations[done] = 0
 
-    P.fill(0.0)
+    bk.fill(P, 0.0)
     rho_prev.fill(1.0)
     loop_it = 0
 
-    while not np.all(done) and loop_it < max_iter:
+    while not done.all() and loop_it < max_iter:
         loop_it += 1
         apply_M(R, out=Z)
-        q(Z)
+        bk.quantize_store(Z, prec)
         red.dot(Z, R, out=rho)
-        # beta = rho/rho_prev, but converged/zero columns would produce
-        # 0/0 -> NaN and poison the block update; freeze them at 0.
-        np.copyto(work, rho_prev)
-        work[work == 0.0] = 1.0
-        np.divide(rho, work, out=beta)
-        beta[done] = 0.0
+        # beta = rho/rho_prev; converged/zero columns frozen at 0.
+        bk.copy(work, rho_prev)
+        _guarded_divide(rho, work, beta, done)
         if loop_it == 1:
             beta.fill(0.0)
-        P *= beta
-        P += Z
-        q(P)
+        bk.xpay_cols(P, beta, Z)
+        bk.quantize_store(P, prec)
         apply_A(P, out=Q)
-        q(Q)
+        bk.quantize_store(Q, prec)
         red.dot(P, Q, out=work)
-        # Converged (or zero) columns: freeze by zeroing the step.
-        work[work == 0.0] = 1.0
-        np.divide(rho, work, out=alpha)
-        alpha[done] = 0.0
-        np.multiply(P, alpha, out=T)
-        X += T
-        np.multiply(Q, alpha, out=T)
-        R -= T
-        q(R)
-        np.copyto(rho_prev, rho)
-        # 13 streams/entry per iteration: the 11 on the r/z/p/q side
-        # move storage-precision words, the solution x (one read + one
-        # write) stays fp64 — the same split estimate_memory footprints
-        w = vector_traffic(n, n_reads=9, n_writes=2, flops_per_entry=12.0,
-                           value_bytes=prec.itemsize)
-        x_bytes = 8.0 * n * 2
-        counters.charge("cg.vec", w.flops * r, (w.bytes + x_bytes) * r)
+        _guarded_divide(rho, work, alpha, done)
+        bk.axpy_cols(X, alpha, P, T)
+        bk.axmy_cols(R, alpha, Q, T)
+        bk.quantize_store(R, prec)
+        bk.copy(rho_prev, rho)
+        _charge_vec_iter(n, r, prec)
 
         red.norm(R, out=relres)
         relres /= denom

@@ -36,11 +36,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparse.cg import CGResult
+from repro.sparse.backend import ArrayBackend, as_backend
+from repro.sparse.cg import CGResult, _charge_vec_iter, _guarded_divide
 from repro.sparse.precision import Precision, as_precision
 from repro.sparse.precond import BlockJacobi
-from repro.sparse.traffic import vector_traffic
-from repro.util import counters
 
 __all__ = [
     "PartitionedReduction",
@@ -61,18 +60,25 @@ class PartitionedReduction:
     part-local loop.
     """
 
-    def __init__(self, groups: list[np.ndarray]) -> None:
+    def __init__(self, groups: list[np.ndarray],
+                 backend: "ArrayBackend | str | None" = None) -> None:
         self.groups = [np.asarray(g, dtype=np.int64) for g in groups]
+        self.backend = as_backend(backend)
+        self._partial: np.ndarray | None = None
 
     def dot(self, V: np.ndarray, W: np.ndarray, out: np.ndarray) -> np.ndarray:
+        partial = self._partial
+        if partial is None or partial.shape != out.shape:
+            partial = self._partial = np.empty_like(out)
         out[...] = 0.0
         for g in self.groups:
-            out += np.einsum("ij,ij->j", V[g], W[g])
+            self.backend.colwise_dot(V[g], W[g], partial)
+            out += partial
         return out
 
     def norm(self, V: np.ndarray, out: np.ndarray) -> np.ndarray:
         self.dot(V, V, out)
-        return np.sqrt(out, out=out)
+        return self.backend.sqrt_(out)
 
 
 def part_block_jacobi(dist) -> list[BlockJacobi]:
@@ -88,8 +94,9 @@ def part_block_jacobi(dist) -> list[BlockJacobi]:
     """
     blocks = dist.diagonal_blocks()
     prec = getattr(dist, "precision", None)
+    bk = getattr(dist, "backend", None)
     return [
-        BlockJacobi(blocks[nodes], precision=prec)
+        BlockJacobi(blocks[nodes], precision=prec, backend=bk)
         for nodes in dist.local_to_global
     ]
 
@@ -110,14 +117,17 @@ class DistributedPCGWorkspace:
     def __init__(self) -> None:
         self.key: tuple | None = None
 
-    def ensure(self, sizes: tuple[int, ...], owned: tuple[int, ...], r: int) -> None:
-        if self.key == (sizes, owned, r):
+    def ensure(self, sizes: tuple[int, ...], owned: tuple[int, ...], r: int,
+               backend: "ArrayBackend | None" = None) -> None:
+        bk = as_backend("numpy") if backend is None else backend
+        if self.key == (sizes, owned, r, bk.name):
             return
-        self.key = (sizes, owned, r)
+        self.key = (sizes, owned, r, bk.name)
         for name in ("R", "Z", "P", "Q", "T", "S"):
-            setattr(self, name, [np.empty((ld, r)) for ld in sizes])
+            setattr(self, name, [bk.empty((ld, r)) for ld in sizes])
         for name in ("VO", "WO"):
-            setattr(self, name, [np.empty((od, r)) for od in owned])
+            setattr(self, name, [bk.empty((od, r)) for od in owned])
+        # CG scalars stay host-side fp64 regardless of backend
         for name in ("rho", "rho_prev", "alpha", "beta", "relres", "work",
                      "partial"):
             setattr(self, name, np.empty(r))
@@ -138,6 +148,7 @@ def distributed_pcg(
     record_history: bool = False,
     workspace: DistributedPCGWorkspace | None = None,
     precision: Precision | str | None = None,
+    backend: "ArrayBackend | str | None" = None,
 ) -> CGResult:
     """Solve ``A x = b`` by CG iterating on part-local vector blocks.
 
@@ -160,6 +171,10 @@ def distributed_pcg(
         distributed operator built at fp21 solves at fp21 without
         repeating the argument.  The bit-identity guarantee against
         the fused reference holds at fp64 (the default).
+    backend : execution engine for the part-local vector loop; defaults
+        to the operator's own (``dist.backend``), like ``precision``.
+        The ``numpy`` backend is bit-identical to the pre-seam loop and
+        the modeled traffic is backend-independent.
 
     Returns the same :class:`~repro.sparse.cg.CGResult` as the fused
     solver; ``x`` is assembled from each part's owned dofs.
@@ -169,7 +184,11 @@ def distributed_pcg(
         if precision is not None
         else as_precision(getattr(dist, "precision", None))
     )
-    q = prec.quantize_
+    bk = (
+        as_backend(backend)
+        if backend is not None
+        else as_backend(getattr(dist, "backend", None))
+    )
     b = np.asarray(b, dtype=float)
     single = b.ndim == 1
     B = b[:, None] if single else b
@@ -187,7 +206,8 @@ def distributed_pcg(
 
     ws = workspace if workspace is not None else DistributedPCGWorkspace()
     ws.ensure(
-        tuple(g.size for g in gdofs), tuple(o.size for o in owned_l), r
+        tuple(g.size for g in gdofs), tuple(o.size for o in owned_l), r,
+        backend=bk,
     )
     R, Z, P, Q, T, S = ws.R, ws.Z, ws.P, ws.Q, ws.T, ws.S
     rho, rho_prev, alpha, beta = ws.rho, ws.rho_prev, ws.alpha, ws.beta
@@ -209,15 +229,15 @@ def distributed_pcg(
         order — the deterministic allreduce (one partial per rank)."""
         out[...] = 0.0
         for p in range(nparts):
-            np.take(Vp[p], owned_l[p], axis=0, out=ws.VO[p], mode="clip")
-            np.take(Wp[p], owned_l[p], axis=0, out=ws.WO[p], mode="clip")
-            np.einsum("ij,ij->j", ws.VO[p], ws.WO[p], out=partial)
+            bk.gather_rows(Vp[p], owned_l[p], ws.VO[p])
+            bk.gather_rows(Wp[p], owned_l[p], ws.WO[p])
+            bk.colwise_dot(ws.VO[p], ws.WO[p], partial)
             out += partial
         return out
 
     def owned_norm(Vp: list[np.ndarray], out: np.ndarray) -> np.ndarray:
         owned_dot(Vp, Vp, out)
-        return np.sqrt(out, out=out)
+        return bk.sqrt_(out)
 
     def apply_A(Vp: list[np.ndarray], out: list[np.ndarray]) -> list[np.ndarray]:
         """Local EBE sweeps + halo exchange (comm charged by the plan)."""
@@ -231,8 +251,8 @@ def distributed_pcg(
 
     apply_A(Xp, out=R)
     for p in range(nparts):
-        np.subtract(Bp[p], R[p], out=R[p])
-        q(R[p])
+        bk.subtract(Bp[p], R[p], R[p])
+        bk.quantize_store(R[p], prec)
     owned_norm(R, relres)
     relres /= denom
     initial_relres = relres.copy()
@@ -243,50 +263,38 @@ def distributed_pcg(
     iterations[done] = 0
 
     for Pp in P:
-        Pp.fill(0.0)
+        bk.fill(Pp, 0.0)
     rho_prev.fill(1.0)
     loop_it = 0
 
-    while not np.all(done) and loop_it < max_iter:
+    while not done.all() and loop_it < max_iter:
         loop_it += 1
         for p in range(nparts):
             local_preconds[p].apply(R[p], out=Z[p])
-            q(Z[p])
+            bk.quantize_store(Z[p], prec)
         owned_dot(Z, R, rho)
         # beta = rho/rho_prev with converged/zero columns frozen at 0
         # (the exact scalar dance of repro.sparse.cg.pcg).
-        np.copyto(work, rho_prev)
-        work[work == 0.0] = 1.0
-        np.divide(rho, work, out=beta)
-        beta[done] = 0.0
+        bk.copy(work, rho_prev)
+        _guarded_divide(rho, work, beta, done)
         if loop_it == 1:
             beta.fill(0.0)
         for p in range(nparts):
-            P[p] *= beta
-            P[p] += Z[p]
-            q(P[p])
+            bk.xpay_cols(P[p], beta, Z[p])
+            bk.quantize_store(P[p], prec)
         apply_A(P, out=Q)
         for p in range(nparts):
-            q(Q[p])
+            bk.quantize_store(Q[p], prec)
         owned_dot(P, Q, work)
-        work[work == 0.0] = 1.0
-        np.divide(rho, work, out=alpha)
-        alpha[done] = 0.0
+        _guarded_divide(rho, work, alpha, done)
         for p in range(nparts):
-            np.multiply(P[p], alpha, out=T[p])
-            Xp[p] += T[p]
-            np.multiply(Q[p], alpha, out=T[p])
-            R[p] -= T[p]
-            q(R[p])
+            bk.axpy_cols(Xp[p], alpha, P[p], T[p])
+            bk.axmy_cols(R[p], alpha, Q[p], T[p])
+            bk.quantize_store(R[p], prec)
             # storage-width r/z/p/q streams + the fp64 solution read
             # and write — the exact split of the fused loop's charge
-            w = vector_traffic(
-                gdofs[p].size, n_reads=9, n_writes=2, flops_per_entry=12.0,
-                value_bytes=prec.itemsize,
-            )
-            x_bytes = 8.0 * gdofs[p].size * 2
-            counters.charge("cg.vec", w.flops * r, (w.bytes + x_bytes) * r)
-        np.copyto(rho_prev, rho)
+            _charge_vec_iter(gdofs[p].size, r, prec)
+        bk.copy(rho_prev, rho)
 
         owned_norm(R, relres)
         relres /= denom

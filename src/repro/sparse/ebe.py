@@ -14,10 +14,13 @@ preallocated per-``r`` workspaces (gather, apply, sorted-scatter
 buffers), so steady-state applications — e.g. every ``pcg``
 iteration of a campaign cell — allocate nothing.
 
-The NumPy execution stores ``A_e`` in host memory; the *modeled* device
+The host execution stores ``A_e`` in memory and runs the sweep through
+the pluggable :class:`~repro.sparse.backend.ArrayBackend` primitives
+(gather / batched apply / segment-sum / scatter); the *modeled* device
 kernel (what the tally is charged with) recomputes element matrices on
 the fly like the paper's OpenACC kernel, per
-:func:`repro.sparse.traffic.ebe_traffic`.
+:func:`repro.sparse.traffic.ebe_traffic` — identically for every
+backend.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fem.assembly import element_dof_ids
+from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.precision import Precision, as_precision
 from repro.sparse.traffic import ebe_traffic
 from repro.util import counters
@@ -37,12 +41,13 @@ class _SweepWorkspace:
 
     __slots__ = ("xe", "ye", "sorted_contrib", "reduced", "y")
 
-    def __init__(self, ne: int, n: int, n_targets: int, r: int) -> None:
-        self.xe = np.empty((ne, 30, r))
-        self.ye = np.empty((ne, 30, r))
-        self.sorted_contrib = np.empty((ne * 30, r))
-        self.reduced = np.empty((n_targets, r))
-        self.y = np.empty((n, r))
+    def __init__(self, ne: int, n: int, n_targets: int, r: int,
+                 backend: ArrayBackend) -> None:
+        self.xe = backend.empty((ne, 30, r))
+        self.ye = backend.empty((ne, 30, r))
+        self.sorted_contrib = backend.empty((ne * 30, r))
+        self.reduced = backend.empty((n_targets, r))
+        self.y = backend.empty((n, r))
 
 
 class EBEOperator:
@@ -63,6 +68,11 @@ class EBEOperator:
         quantized to the format and the modeled vector traffic is
         charged at its itemsize.  Default fp64 — bit-identical to the
         precision-unaware operator.
+    backend : execution engine for the sweep
+        (:class:`~repro.sparse.backend.ArrayBackend`, registry name, or
+        ``None`` for the ambient default).  ``numpy`` executes the
+        historical call sequence bit-for-bit; the modeled traffic is
+        backend-independent.
     """
 
     def __init__(
@@ -72,8 +82,10 @@ class EBEOperator:
         n_nodes: int,
         tag: str = "spmv.ebe",
         precision: Precision | str | None = None,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         self.precision = as_precision(precision)
+        self.backend = as_backend(backend)
         elem_mats = np.asarray(elem_mats, dtype=float)
         ne, nd, nd2 = elem_mats.shape
         if nd != nd2 or nd != 3 * elems.shape[1]:
@@ -110,7 +122,8 @@ class EBEOperator:
         ws = self._ws.get(r)
         if ws is None:
             ws = _SweepWorkspace(
-                self.n_elems, self.n, self._scatter_targets.size, r
+                self.n_elems, self.n, self._scatter_targets.size, r,
+                self.backend,
             )
             self._ws[r] = ws
         return ws
@@ -151,22 +164,10 @@ class EBEOperator:
             raise ValueError(f"operand size {n} != {self.n}")
 
         ws = self._workspace(r)
-        # mode="clip" writes straight into `out` (mode="raise" rechecks
-        # the indices through a temporary); both index arrays are
-        # validated in-range at construction.
-        np.take(X, self._dof, axis=0, out=ws.xe, mode="clip")  # gather
-        self.precision.quantize_(ws.xe)  # gather buffer in storage precision
-        np.matmul(self.Ae, ws.xe, out=ws.ye)
-        flat_contrib = ws.ye.reshape(-1, r)
-        np.take(flat_contrib, self._scatter_order, axis=0,
-                out=ws.sorted_contrib, mode="clip")
-        np.add.reduceat(ws.sorted_contrib, self._scatter_starts, axis=0,
-                        out=ws.reduced)
         Y = ws.y if out is None else out
         if Y.shape != (n, r):
             raise ValueError(f"out must have shape {(n, r)}, got {Y.shape}")
-        Y.fill(0.0)
-        Y[self._scatter_targets] = ws.reduced
+        self._sweep(X, Y, ws)
 
         w = ebe_traffic(self.n_elems, self.n_nodes, n_rhs=r,
                         value_bytes=self.precision.itemsize)
@@ -174,6 +175,21 @@ class EBEOperator:
         if single:
             return Y[:, 0].copy() if out is None else Y[:, 0]
         return Y.copy() if out is None else Y
+
+    def _sweep(self, X: np.ndarray, Y: np.ndarray,
+               ws: _SweepWorkspace) -> np.ndarray:
+        """The gather/apply/scatter hot path, pure backend primitives
+        (both index arrays are validated in-range at construction, so
+        the gathers need no bounds re-checks)."""
+        bk = self.backend
+        bk.gather_rows(X, self._dof, ws.xe)
+        bk.quantize_store(ws.xe, self.precision)  # storage-format gather
+        bk.batched_matmul(self.Ae, ws.xe, ws.ye)
+        flat_contrib = ws.ye.reshape(-1, X.shape[1])
+        bk.gather_rows(flat_contrib, self._scatter_order, ws.sorted_contrib)
+        bk.segment_sum(ws.sorted_contrib, self._scatter_starts, ws.reduced)
+        bk.scatter_rows(Y, self._scatter_targets, ws.reduced)
+        return Y
 
     def __matmul__(self, x: np.ndarray) -> np.ndarray:
         return self.matvec(x)
