@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DEFAULT_PRECONDITIONER",
     "DEFAULT_SCENARIO",
     "WaveSpec",
     "CampaignCell",
@@ -73,6 +74,25 @@ def _validate_scenario(name: str) -> str:
 #: :data:`repro.sparse.backend.DEFAULT_BACKEND`; kept literal so the
 #: spec layer stays import-light).
 DEFAULT_BACKEND = "numpy"
+
+
+#: The preconditioner family pre-axis cells implicitly ran (must mirror
+#: :data:`repro.sparse.precond.DEFAULT_PRECONDITIONER`; kept literal so
+#: the spec layer stays import-light).
+DEFAULT_PRECONDITIONER = "bj"
+
+
+def _validate_precond(name: str) -> str:
+    """Spec-time preconditioner validation (lazy import; mirrors the
+    other axis validators)."""
+    from repro.sparse.precond import PRECONDITIONERS
+
+    name = str(name)
+    if name not in PRECONDITIONERS:
+        raise ValueError(
+            f"unknown preconditioner {name!r}; choose from {PRECONDITIONERS}"
+        )
+    return name
 
 
 def _validate_backend(name: str) -> str:
@@ -165,6 +185,7 @@ def method_cell_params(
     precision: str = "fp64",
     scenario: str = DEFAULT_SCENARIO,
     backend: str = DEFAULT_BACKEND,
+    precond: str = DEFAULT_PRECONDITIONER,
 ) -> tuple[dict, str]:
     """Canonical ``(params, label)`` of one ``"method"`` campaign cell.
 
@@ -174,11 +195,11 @@ def method_cell_params(
     :mod:`repro.studies.transprecision`,
     :mod:`repro.studies.scenarios`) all build their cells here, so
     equivalent work always produces the same content hash.  ``nparts``,
-    ``precision``, ``scenario`` and ``backend`` enter the params (and
-    hence the hash) only at non-default values — the content-addition
-    discipline that keeps pre-axis cells cached — and the scenario
-    ``seed`` is independent of all four, so sweeps along any axis
-    compare identical random draws.
+    ``precision``, ``scenario``, ``backend`` and ``precond`` enter the
+    params (and hence the hash) only at non-default values — the
+    content-addition discipline that keeps pre-axis cells cached — and
+    the scenario ``seed`` is independent of all five, so sweeps along
+    any axis compare identical random draws.
     """
     res = tuple(int(x) for x in resolution)
     res_tag = "x".join(map(str, res))
@@ -208,6 +229,9 @@ def method_cell_params(
     if backend != DEFAULT_BACKEND:
         params["backend"] = _validate_backend(str(backend))
         label += f"/{backend}"
+    if precond != DEFAULT_PRECONDITIONER:
+        params["precond"] = _validate_precond(str(precond))
+        label += f"/{precond}"
     return params, label
 
 
@@ -284,6 +308,15 @@ class CampaignSpec:
     #: reference cells.  Names must be registered at spec time but need
     #: only be importable at execution time.
     backends: tuple[str, ...] = (DEFAULT_BACKEND,)
+    #: Preconditioner axis: every method additionally runs under each
+    #: family here (:data:`repro.sparse.precond.PRECONDITIONERS`) —
+    #: ``"bj"`` is the paper's block-Jacobi, ``"twogrid"`` the
+    #: geometric two-grid cycle that trades cheap iterations for far
+    #: fewer of them.  The default ``"bj"`` keeps its pre-axis content
+    #: hash (same discipline as the other axes), so adding
+    #: preconditioners to an existing campaign never invalidates cached
+    #: block-Jacobi cells.
+    preconditioners: tuple[str, ...] = (DEFAULT_PRECONDITIONER,)
 
     def __post_init__(self) -> None:
         from repro.core.methods import METHODS
@@ -368,6 +401,16 @@ class CampaignSpec:
             _validate_backend(bk)
         if len(set(self.backends)) != len(self.backends):
             raise ValueError("duplicate backend entries")
+        object.__setattr__(
+            self, "preconditioners",
+            tuple(str(p) for p in self.preconditioners),
+        )
+        if not self.preconditioners:
+            raise ValueError("campaign grid has an empty axis")
+        for pc in self.preconditioners:
+            _validate_precond(pc)
+        if len(set(self.preconditioners)) != len(self.preconditioners):
+            raise ValueError("duplicate preconditioner entries")
 
     def _part_axis(self, method: str) -> tuple[int, ...]:
         """The part counts one method expands over (baselines run once)."""
@@ -382,6 +425,7 @@ class CampaignSpec:
             * len(self.precision)
             * len(self.scenarios)
             * len(self.backends)
+            * len(self.preconditioners)
             * sum(len(self._part_axis(m)) for m in self.methods)
         )
 
@@ -395,19 +439,22 @@ class CampaignSpec:
                 for np_ in self._part_axis(method):
                     for prec in self.precision:
                         for bk in self.backends:
-                            params, label = method_cell_params(
-                                model, wave, method, res,
-                                cases=self.cases, steps=self.steps,
-                                module=self.module, eps=self.eps,
-                                s_min=self.s_min, s_max=self.s_max,
-                                seed=self.seed, nparts=np_, precision=prec,
-                                scenario=scen, backend=bk,
-                            )
-                            out.append(
-                                CampaignCell(
-                                    kind="method", params=params, label=label
+                            for pc in self.preconditioners:
+                                params, label = method_cell_params(
+                                    model, wave, method, res,
+                                    cases=self.cases, steps=self.steps,
+                                    module=self.module, eps=self.eps,
+                                    s_min=self.s_min, s_max=self.s_max,
+                                    seed=self.seed, nparts=np_,
+                                    precision=prec, scenario=scen,
+                                    backend=bk, precond=pc,
                                 )
-                            )
+                                out.append(
+                                    CampaignCell(
+                                        kind="method", params=params,
+                                        label=label,
+                                    )
+                                )
         return out
 
     # -- (de)serialization --------------------------------------------

@@ -22,6 +22,10 @@ Commands
     input waves x methods x resolutions, optionally fanned over
     registered scenarios) through the cached, optionally parallel
     campaign engine, and print aggregated summary tables.
+``twogrid``
+    Compare the geometric two-grid preconditioner against block-Jacobi
+    (paired campaign cells per scenario x resolution; iteration
+    reduction and modeled speedup, anchored on soft-soil).
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.hardware.specs import MODULES
     from repro.sparse.backend import backend_names, default_backend_name
     from repro.sparse.precision import PRECISIONS
+    from repro.sparse.precond import DEFAULT_PRECONDITIONER, PRECONDITIONERS
     from repro.workloads.scenario import DEFAULT_SCENARIO, scenario_names
 
     modules = sorted(MODULES)
@@ -79,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="array backend executing the solver hot loops "
                           "(default: $REPRO_BACKEND or 'numpy'; see "
                           "`repro backends`)")
+    run.add_argument("--precond", default=DEFAULT_PRECONDITIONER,
+                     choices=list(PRECONDITIONERS),
+                     help="preconditioner family: 'bj' block-Jacobi, "
+                          "'twogrid' geometric two-grid cycle")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", default=None, help="save result JSON here")
     run.add_argument("--vtk", default=None, help="save final displacement VTK here")
@@ -119,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated array backends for the "
                            "execution-backend axis, e.g. 'numpy,numba' "
                            "(see `repro backends`)")
+    camp.add_argument("--precond", default=DEFAULT_PRECONDITIONER,
+                      help="comma-separated preconditioner families for "
+                           "the preconditioner axis, e.g. 'bj,twogrid'")
     camp.add_argument("--module", default="single-gh200",
                       choices=modules)
     camp.add_argument("--seed", type=int, default=0)
@@ -136,6 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
                       help="resume interrupted cells from their store "
                            "checkpoints instead of step 0 (finished cells "
                            "are cache hits either way)")
+
+    tg = sub.add_parser(
+        "twogrid",
+        help="compare the two-grid preconditioner against block-Jacobi",
+    )
+    tg.add_argument("--scenarios", default="soft-soil,impulse",
+                    help="comma-separated scenarios to pair "
+                         "(see `repro scenarios`)")
+    tg.add_argument("--resolutions", default="2,2,1",
+                    help="semicolon-separated resolutions, e.g. '2,2,1;4,4,2'")
+    tg.add_argument("--model", default="stratified",
+                    help="ground model of the paired cells")
+    tg.add_argument("--method", default="ebe-mcg@cpu-gpu")
+    tg.add_argument("--cases", type=int, default=2, help="ensemble size")
+    tg.add_argument("--steps", type=int, default=8, help="time steps")
+    tg.add_argument("--module", default="single-gh200", choices=modules)
+    tg.add_argument("--seed", type=int, default=0)
+    tg.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = inline)")
+    tg.add_argument("--store", default=None,
+                    help="optional result store directory (content-hash "
+                         "cache shared with `repro campaign`)")
     return p
 
 
@@ -251,6 +285,7 @@ def _cmd_run(args) -> int:
             module=_module(args.module), s_range=(args.s_min, args.s_max),
             cpu_threads=args.threads, nparts=args.nparts,
             precision=args.precision, backend=args.backend,
+            precond=args.precond,
         )
     except BackendUnavailableError as exc:
         raise SystemExit(f"backend unavailable: {exc}") from exc
@@ -325,6 +360,7 @@ def _campaign_spec(args):
             precision=tuple(args.precision.split(",")),
             scenarios=tuple(args.scenario.split(",")),
             backends=tuple(args.backend.split(",")),
+            preconditioners=tuple(args.precond.split(",")),
         )
     except ValueError as exc:
         raise SystemExit(f"bad campaign grid: {exc}") from exc
@@ -357,12 +393,58 @@ def _cmd_campaign(args) -> int:
         axes += ", scenarios " + ",".join(spec.scenarios)
     if len(spec.backends) > 1:
         axes += ", backends " + ",".join(spec.backends)
+    if len(spec.preconditioners) > 1:
+        axes += ", preconditioners " + ",".join(spec.preconditioners)
     print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells ({axes}), "
           f"jobs={args.jobs}\n")
     print(report.render())
     if store is not None:
         print(f"store -> {store.root}")
     return 1 if report.n_failed else 0
+
+
+def _cmd_twogrid(args) -> int:
+    from repro.campaign import ResultStore
+    from repro.studies.twogrid import (
+        render_twogrid_table,
+        run_twogrid_campaign,
+        twogrid_cells,
+        twogrid_table,
+    )
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    try:
+        resolutions = tuple(
+            tuple(int(x) for x in chunk.split(","))
+            for chunk in args.resolutions.split(";")
+        )
+        cells = twogrid_cells(
+            scenarios=tuple(args.scenarios.split(",")),
+            resolutions=resolutions,
+            model=args.model,
+            cases=args.cases,
+            steps=args.steps,
+            method=args.method,
+            module=args.module,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad twogrid study grid: {exc}") from exc
+    store = ResultStore(args.store) if args.store else None
+    outcomes = run_twogrid_campaign(cells, store=store, jobs=args.jobs)
+    n_failed = sum(1 for o in outcomes if not o.ok)
+    for o in outcomes:
+        if not o.ok:
+            print(f"FAILED {o.cell.label}: {o.error}")
+    points = twogrid_table(outcomes)
+    if not points:
+        raise SystemExit("no complete bj/twogrid pair succeeded")
+    print()
+    print(render_twogrid_table(points))
+    if store is not None:
+        print(f"store -> {store.root}")
+    return 1 if n_failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -375,6 +457,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "sensitivity": _cmd_sensitivity,
         "campaign": _cmd_campaign,
+        "twogrid": _cmd_twogrid,
     }
     return handlers[args.command](args)
 

@@ -33,6 +33,7 @@ from repro.predictor.adaptive import AdaptiveSController
 from repro.predictor.datadriven import DataDrivenPredictor
 from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.precision import Precision, as_precision
+from repro.sparse.precond import DEFAULT_PRECONDITIONER, PRECONDITIONERS
 from repro.util.timeline import Timeline
 
 __all__ = ["METHODS", "HETEROGENEOUS_METHODS", "PARTITIONABLE_METHODS",
@@ -198,6 +199,7 @@ class _BaselineDriver:
         waveform_dofs: np.ndarray | None,
         precision: Precision,
         backend: ArrayBackend,
+        precond: str = DEFAULT_PRECONDITIONER,
     ) -> None:
         self.problem = problem
         self.module = module
@@ -218,6 +220,7 @@ class _BaselineDriver:
                 eps=eps,
                 precision=precision,
                 backend=backend,
+                precond=precond,
             )
             for f in forces
         ]
@@ -327,15 +330,19 @@ class _PipelineDriver:
 
 
 def _check_state_header(
-    state: dict, *, method: str, nparts: int, precision: Precision, nt: int
+    state: dict, *, method: str, nparts: int, precision: Precision, nt: int,
+    precond: str = DEFAULT_PRECONDITIONER,
 ) -> int:
     """Validate a resume state against the run being started; returns
     the completed step count.  Mismatches fail loudly — resuming a
-    checkpoint into a different method/nparts/precision configuration
-    would produce silently wrong numbers.  The execution *backend* is
-    deliberately absent from the header: checkpoints hold only fp64
-    host state (Newmark kinematics, predictor history), so a state
-    saved under one backend resumes under any other."""
+    checkpoint into a different method/nparts/precision/precond
+    configuration would produce silently wrong numbers.  The execution
+    *backend* is deliberately absent from the header: checkpoints hold
+    only fp64 host state (Newmark kinematics, predictor history), so a
+    state saved under one backend resumes under any other.  The
+    ``precond`` key is written only at non-default (pre-axis
+    checkpoints stay byte-identical) and read with the default as
+    fallback, so old documents resume cleanly."""
     for key, want in (
         ("method", method),
         ("nparts", int(nparts)),
@@ -346,6 +353,12 @@ def _check_state_header(
                 f"checkpoint {key} {state.get(key)!r} does not match "
                 f"this run ({want!r})"
             )
+    got_precond = state.get("precond", DEFAULT_PRECONDITIONER)
+    if got_precond != precond:
+        raise ValueError(
+            f"checkpoint precond {got_precond!r} does not match "
+            f"this run ({precond!r})"
+        )
     step = int(state.get("step", -1))
     if not 0 < step <= nt:
         raise ValueError(
@@ -364,6 +377,7 @@ def _run_chunks(
     start_state: dict | None,
     checkpoint_every: int,
     on_checkpoint: Callable[[dict], None] | None,
+    precond: str = DEFAULT_PRECONDITIONER,
 ) -> None:
     """Drive ``nt`` total steps, optionally resuming from
     ``start_state`` and flushing a state document to ``on_checkpoint``
@@ -374,7 +388,7 @@ def _run_chunks(
     if start_state is not None:
         done = _check_state_header(
             start_state, method=method, nparts=nparts, precision=precision,
-            nt=nt,
+            nt=nt, precond=precond,
         )
         driver.load_state_dict(start_state["state"])
     while done < nt:
@@ -382,15 +396,18 @@ def _run_chunks(
         driver.run(k)
         done += k
         if on_checkpoint is not None and checkpoint_every >= 1 and done < nt:
-            on_checkpoint(
-                {
-                    "method": method,
-                    "nparts": int(nparts),
-                    "precision": precision.name,
-                    "step": done,
-                    "state": driver.state_dict(),
-                }
-            )
+            doc = {
+                "method": method,
+                "nparts": int(nparts),
+                "precision": precision.name,
+                "step": done,
+                "state": driver.state_dict(),
+            }
+            if precond != DEFAULT_PRECONDITIONER:
+                # only at non-default so pre-axis checkpoint documents
+                # stay byte-identical
+                doc["precond"] = precond
+            on_checkpoint(doc)
 
 
 def _part_link(module: ModuleSpec) -> TransferModel:
@@ -415,6 +432,7 @@ def _run_heterogeneous(
     nparts: int,
     precision: Precision,
     backend: ArrayBackend,
+    precond: str,
     start_state: dict | None,
     checkpoint_every: int,
     on_checkpoint: Callable[[dict], None] | None,
@@ -444,7 +462,8 @@ def _run_heterogeneous(
         dist = DistributedEBE.from_elements(
             problem.Ae, info, precision=precision, backend=backend
         )
-        preconds = part_block_jacobi(dist)
+        if precond == DEFAULT_PRECONDITIONER:
+            preconds = part_block_jacobi(dist)
 
     def make_set(fs: Sequence[Callable[[int], np.ndarray]]) -> CaseSet:
         predictors = [
@@ -466,6 +485,7 @@ def _run_heterogeneous(
                 eps=eps,
                 precision=precision,
                 backend=backend,
+                precond=precond,
                 nparts=nparts,
                 link=_part_link(module),
                 dist=dist,
@@ -479,6 +499,7 @@ def _run_heterogeneous(
             eps=eps,
             precision=precision,
             backend=backend,
+            precond=precond,
         )
 
     flop_f, bw_f = cpu_share_factors(cpu_threads)
@@ -502,7 +523,7 @@ def _run_heterogeneous(
         _PipelineDriver(pipe),
         nt=nt, method=method, nparts=nparts, precision=precision,
         start_state=start_state, checkpoint_every=checkpoint_every,
-        on_checkpoint=on_checkpoint,
+        on_checkpoint=on_checkpoint, precond=precond,
     )
 
     power = energy_of_timeline(pipe.timeline, pm)
@@ -540,6 +561,7 @@ def run_method(
     nparts: int = 1,
     precision: Precision | str | None = None,
     backend: "ArrayBackend | str | None" = None,
+    precond: str = DEFAULT_PRECONDITIONER,
     start_state: dict | None = None,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[dict], None] | None = None,
@@ -581,6 +603,15 @@ def run_method(
         estimates and energy numbers are backend-independent.
         Checkpoints are backend-agnostic: a state saved under one
         backend resumes under any other.
+    precond : preconditioner family
+        (:data:`~repro.sparse.precond.PRECONDITIONERS`): ``"bj"`` is
+        the paper's 3x3 block-Jacobi, ``"twogrid"`` the geometric
+        two-grid cycle (block-Jacobi smoothing + direct coarse solve)
+        that collapses CG iteration counts on hard scenarios.  With
+        ``nparts > 1`` the two-grid cycle runs globally (gather /
+        apply / scatter, wire traffic on the ``nic`` lane).
+        Checkpoints record a non-default precond in their header and
+        refuse to resume under a different one.
     start_state : a state document produced by ``on_checkpoint`` (or
         loaded via :func:`repro.io.results.load_pipeline_state`): the
         run resumes from the checkpointed step and only executes the
@@ -607,6 +638,10 @@ def run_method(
             "the distributed solve path (nparts > 1) requires one of "
             f"{PARTITIONABLE_METHODS}"
         )
+    if precond not in PRECONDITIONERS:
+        raise ValueError(
+            f"unknown precond {precond!r}; choose from {PRECONDITIONERS}"
+        )
     prec = as_precision(precision)
     bk = as_backend(backend)
     if checkpoint_every < 0:
@@ -614,18 +649,19 @@ def run_method(
     if method in ("crs-cg@cpu", "crs-cg@gpu"):
         device = method.split("@", 1)[1]
         driver = _BaselineDriver(
-            problem, forces, module, device, eps, waveform_dofs, prec, bk
+            problem, forces, module, device, eps, waveform_dofs, prec, bk,
+            precond=precond,
         )
         _run_chunks(
             driver,
             nt=nt, method=method, nparts=nparts, precision=prec,
             start_state=start_state, checkpoint_every=checkpoint_every,
-            on_checkpoint=on_checkpoint,
+            on_checkpoint=on_checkpoint, precond=precond,
         )
         return driver.result()
     op_kind = "ebe" if method.startswith("ebe") else "crs"
     return _run_heterogeneous(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
-        cpu_threads, waveform_dofs, nparts, prec, bk,
+        cpu_threads, waveform_dofs, nparts, prec, bk, precond,
         start_state, checkpoint_every, on_checkpoint,
     )

@@ -45,6 +45,7 @@ from repro.sparse.distributed import (
     distributed_pcg,
     part_block_jacobi,
 )
+from repro.sparse.precond import DEFAULT_PRECONDITIONER
 from repro.util.counters import KernelTally
 
 __all__ = ["PartitionedCaseSet"]
@@ -69,6 +70,13 @@ class PartitionedCaseSet(CaseSet):
         model, so the driver builds these once and shares them (the
         partition is read-only inside a solve); both are derived from
         the problem when omitted.
+
+    With ``precond="twogrid"`` the per-part block-Jacobi appliers are
+    replaced by one *global* geometric two-grid cycle: the distributed
+    solver assembles the owned residual rows, applies the cycle on the
+    aggregating device and redistributes — the coarse problem is too
+    small to shard profitably.  The gather/scatter wire traffic is
+    charged per application on the ``nic`` lane (see :meth:`comm_time`).
     """
 
     nparts: int = 2
@@ -112,12 +120,36 @@ class PartitionedCaseSet(CaseSet):
                 "shared dist does not match this problem/nparts/"
                 "precision/backend"
             )
-        if self.preconds is None:
+        if self.precond != DEFAULT_PRECONDITIONER:
+            if self.preconds is not None:
+                raise ValueError(
+                    "per-part preconds only apply to the default "
+                    "block-Jacobi; the non-default families are global"
+                )
+        elif self.preconds is None:
             self.preconds = part_block_jacobi(self.dist)
         self._comm = CommCostModel(self.link)
 
+    def _global_precond(self):
+        """The global (non-part-local) preconditioner, cached on the
+        problem so both pipeline sets share one factorization."""
+        return self.problem.preconditioner_for(
+            self.precond, self.precision, self.backend, self.op_kind
+        )
+
     # -- solver ---------------------------------------------------------
     def _solve_system(self, B: np.ndarray, guesses: np.ndarray) -> CGResult:
+        if self.precond != DEFAULT_PRECONDITIONER:
+            return distributed_pcg(
+                self.dist,
+                B,
+                x0=guesses,
+                precond=self._global_precond(),
+                eps=self.eps,
+                workspace=self._dws,
+                precision=self.precision,
+                backend=self.backend,
+            )
         return distributed_pcg(
             self.dist,
             B,
@@ -170,4 +202,14 @@ class PartitionedCaseSet(CaseSet):
         )
         t_halo = self._comm.halo_time([halo_bytes]) * (1.0 - self.overlap_fraction)
         t_reduce = 2.0 * self._comm.allreduce_time(8.0 * self.r, self.nparts)
-        return n_exchanges * t_halo + res.loop_iterations * t_reduce
+        t = n_exchanges * t_halo + res.loop_iterations * t_reduce
+        if self.precond != DEFAULT_PRECONDITIONER:
+            # global preconditioner: gather the residual to the
+            # aggregating device and scatter the correction back, once
+            # per loop iteration; a serial full-vector round trip, so
+            # none of it hides behind the sweep
+            precond_bytes = (
+                2.0 * self.precision.itemsize * self.problem.n_dofs * self.r
+            )
+            t += res.loop_iterations * self._comm.halo_time([precond_bytes])
+        return t

@@ -29,6 +29,7 @@ from repro.hardware.transfer import TransferModel
 from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.cg import CGResult, PCGWorkspace, pcg
 from repro.sparse.precision import Precision, as_precision
+from repro.sparse.precond import DEFAULT_PRECONDITIONER, PRECONDITIONERS
 from repro.util.counters import KernelTally, tally_scope
 from repro.util.timeline import Timeline
 
@@ -54,7 +55,10 @@ class CaseSet:
     (:class:`~repro.sparse.backend.ArrayBackend` or registry name;
     ``None`` resolves the ambient default).  The ``numpy`` backend is
     bit-identical to the pre-seam pipeline, and modeled times are
-    backend-independent.
+    backend-independent.  ``precond`` names the preconditioner family
+    (:data:`~repro.sparse.precond.PRECONDITIONERS`): ``"bj"`` is the
+    paper's block-Jacobi, ``"twogrid"`` wraps it in the geometric
+    two-grid cycle.
     """
 
     problem: ElasticProblem
@@ -64,6 +68,7 @@ class CaseSet:
     eps: float = 1e-8
     precision: Precision | str | None = None
     backend: ArrayBackend | str | None = None
+    precond: str = DEFAULT_PRECONDITIONER
     states: list[NewmarkState] = field(default_factory=list)
     _pcg_ws: PCGWorkspace = field(default_factory=PCGWorkspace, repr=False)
 
@@ -72,6 +77,10 @@ class CaseSet:
             raise ValueError("one predictor per case required")
         if self.op_kind not in ("ebe", "crs"):
             raise ValueError("op_kind must be 'ebe' or 'crs'")
+        if self.precond not in PRECONDITIONERS:
+            raise ValueError(
+                f"precond must be one of {PRECONDITIONERS}, got {self.precond!r}"
+            )
         self.precision = as_precision(self.precision)
         self.backend = as_backend(self.backend)
         if not self.states:
@@ -95,7 +104,9 @@ class CaseSet:
             self._operator(),
             B,
             x0=guesses,
-            precond=self.problem.preconditioner(self.precision, self.backend),
+            precond=self.problem.preconditioner_for(
+                self.precond, self.precision, self.backend, self.op_kind
+            ),
             eps=self.eps,
             workspace=self._pcg_ws,
             precision=self.precision,

@@ -216,6 +216,34 @@ class ArrayBackend(abc.ABC):
         """Multi-vector CSR SpMV ``out = A @ X`` into the caller
         buffer (``X``/``out`` shaped ``(n, r)``)."""
 
+    # -- grid-transfer primitives -------------------------------------
+    #
+    # Node-level CSR operators applied to node-major dof vectors: a
+    # C-contiguous ``(3*n, r)`` dof block viewed as ``(n, 3*r)`` turns
+    # the 3-components-per-node application into a plain multi-vector
+    # SpMV, so every backend inherits a correct implementation from its
+    # own ``spmv_csr``; engines with bespoke kernels override.
+
+    def prolong(self, indptr, indices, data, X, out):
+        """Coarse-to-fine transfer ``out = (P x I3) @ X``: node-level
+        CSR ``P`` applied to dof columns (``X`` ``(3*n_coarse, r)``,
+        ``out`` ``(3*n_fine, r)``, both C-contiguous)."""
+        return self._node_csr_apply(indptr, indices, data, X, out)
+
+    def restrict(self, indptr, indices, data, X, out):
+        """Fine-to-coarse transfer ``out = (R x I3) @ X`` (``X``
+        ``(3*n_fine, r)``, ``out`` ``(3*n_coarse, r)``)."""
+        return self._node_csr_apply(indptr, indices, data, X, out)
+
+    def _node_csr_apply(self, indptr, indices, data, X, out):
+        r = X.shape[1]
+        self.spmv_csr(
+            indptr, indices, data,
+            X.reshape(X.shape[0] // 3, 3 * r),
+            out.reshape(out.shape[0] // 3, 3 * r),
+        )
+        return out
+
 
 class NumpyBackend(ArrayBackend):
     """Reference backend: the exact NumPy operations the pre-seam hot

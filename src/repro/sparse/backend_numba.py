@@ -155,10 +155,29 @@ def py_spmv_csr(indptr, indices, data, X, out):
                 out[row, j] += v * X[col, j]
 
 
+def py_transfer3(indptr, indices, data, X, out):
+    # node-level CSR applied to node-major dof columns (3 components
+    # per node): one output node-row per parallel iteration, columns
+    # accumulated in CSR index order — same summation grouping as the
+    # reference backend's reshaped spmv_csr, so values are bit-equal.
+    r = X.shape[1]
+    for row in prange(out.shape[0] // 3):
+        for c in range(3):
+            for j in range(r):
+                out[3 * row + c, j] = 0.0
+        for ptr in range(indptr[row], indptr[row + 1]):
+            col = indices[ptr]
+            v = data[ptr]
+            for c in range(3):
+                for j in range(r):
+                    out[3 * row + c, j] += v * X[3 * col + c, j]
+
+
 _KERNELS = (
     py_copy2, py_fill2, py_subtract2, py_xpay_cols, py_axpy_cols,
     py_axmy_cols, py_colwise_dot, py_gather_rows, py_batched_matmul,
     py_segment_sum, py_scatter_rows, py_block_diag_matvec, py_spmv_csr,
+    py_transfer3,
 )
 
 _jitted: dict[str, object] = {}
@@ -268,4 +287,12 @@ class NumbaBackend(ArrayBackend):
 
     def spmv_csr(self, indptr, indices, data, X, out):
         self._k["py_spmv_csr"](indptr, indices, data, X, out)
+        return out
+
+    def prolong(self, indptr, indices, data, X, out):
+        self._k["py_transfer3"](indptr, indices, data, X, out)
+        return out
+
+    def restrict(self, indptr, indices, data, X, out):
+        self._k["py_transfer3"](indptr, indices, data, X, out)
         return out

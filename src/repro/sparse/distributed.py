@@ -40,6 +40,7 @@ from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.cg import CGResult, _charge_vec_iter, _guarded_divide
 from repro.sparse.precision import Precision, as_precision
 from repro.sparse.precond import BlockJacobi
+from repro.util import counters
 
 __all__ = [
     "PartitionedReduction",
@@ -111,6 +112,7 @@ class DistributedPCGWorkspace:
     """
 
     __slots__ = ("key", "R", "Z", "P", "Q", "T", "S", "VO", "WO",
+                 "RG", "ZG", "VC",
                  "rho", "rho_prev", "alpha", "beta", "relres", "work",
                  "partial")
 
@@ -118,15 +120,22 @@ class DistributedPCGWorkspace:
         self.key: tuple | None = None
 
     def ensure(self, sizes: tuple[int, ...], owned: tuple[int, ...], r: int,
-               backend: "ArrayBackend | None" = None) -> None:
+               backend: "ArrayBackend | None" = None,
+               global_rows: int = 0) -> None:
         bk = as_backend("numpy") if backend is None else backend
-        if self.key == (sizes, owned, r, bk.name):
+        if self.key == (sizes, owned, r, bk.name, global_rows):
             return
-        self.key = (sizes, owned, r, bk.name)
+        self.key = (sizes, owned, r, bk.name, global_rows)
         for name in ("R", "Z", "P", "Q", "T", "S"):
             setattr(self, name, [bk.empty((ld, r)) for ld in sizes])
         for name in ("VO", "WO"):
             setattr(self, name, [bk.empty((od, r)) for od in owned])
+        # full-vector staging for a *global* preconditioner (two-grid):
+        # assembled residual, corrected block, and the owned-row wire
+        # buffer — only allocated when such a preconditioner is in play
+        for name in ("RG", "ZG", "VC"):
+            setattr(self, name,
+                    bk.empty((global_rows, r)) if global_rows else None)
         # CG scalars stay host-side fp64 regardless of backend
         for name in ("rho", "rho_prev", "alpha", "beta", "relres", "work",
                      "partial"):
@@ -143,6 +152,7 @@ def distributed_pcg(
     b: np.ndarray,
     x0: np.ndarray | None = None,
     local_preconds: list[BlockJacobi] | None = None,
+    precond=None,
     eps: float = 1e-8,
     max_iter: int = 10_000,
     record_history: bool = False,
@@ -161,6 +171,16 @@ def distributed_pcg(
     x0 : optional global initial guess(es), same shape as ``b``.
     local_preconds : per-part block-Jacobi preconditioners; built with
         :func:`part_block_jacobi` when omitted.
+    precond : optional *global* preconditioner (anything with
+        ``apply(r, out=) -> out``, e.g. a
+        :class:`~repro.sparse.twogrid.TwoGrid`).  When given it
+        replaces the part-local preconditioners: each iteration the
+        owned residual rows are assembled into a full vector (the
+        allgather an MPI implementation would run — its wire bytes are
+        charged on the ``halo.exchange.precond`` tag so the modeled
+        comm/device split stays honest), preconditioned once, and the
+        corrected block rescattered to the parts' owned+ghost rows.
+        Mutually exclusive with ``local_preconds``.
     eps, max_iter, record_history : as in :func:`~repro.sparse.cg.pcg`.
     workspace : reusable :class:`DistributedPCGWorkspace`; pass the
         same instance across solves of one case set to keep the loop
@@ -199,15 +219,19 @@ def distributed_pcg(
     gdofs = dist.local_global_dofs
     owned_l = dist.owned_local_dofs
     nparts = dist.nparts
-    if local_preconds is None:
-        local_preconds = part_block_jacobi(dist)
-    if len(local_preconds) != nparts:
-        raise ValueError("one local preconditioner per part required")
+    if precond is not None:
+        if local_preconds is not None:
+            raise ValueError("pass local_preconds or a global precond, not both")
+    else:
+        if local_preconds is None:
+            local_preconds = part_block_jacobi(dist)
+        if len(local_preconds) != nparts:
+            raise ValueError("one local preconditioner per part required")
 
     ws = workspace if workspace is not None else DistributedPCGWorkspace()
     ws.ensure(
         tuple(g.size for g in gdofs), tuple(o.size for o in owned_l), r,
-        backend=bk,
+        backend=bk, global_rows=n if precond is not None else 0,
     )
     R, Z, P, Q, T, S = ws.R, ws.Z, ws.P, ws.Q, ws.T, ws.S
     rho, rho_prev, alpha, beta = ws.rho, ws.rho_prev, ws.alpha, ws.beta
@@ -245,6 +269,36 @@ def distributed_pcg(
             op.matvec(Vp[p], out=S[p])
         return dist.halo_exchange(S, out=out)
 
+    if precond is not None:
+        # owned-row offsets into the concatenated wire buffer, and the
+        # global permutation the scatter lands them on
+        counts = [o.size for o in owned_l]
+        offs = [0]
+        for c in counts:
+            offs.append(offs[-1] + c)
+        perm = np.concatenate(
+            [np.asarray(g, dtype=np.int64) for g in dist.owned_global_dofs]
+        )
+        comm_bytes = 2.0 * prec.itemsize * n * r  # residual up, correction down
+
+        def apply_precond() -> None:
+            """Global cycle: assemble owned rows into a full-vector
+            residual, precondition once, rescatter owned+ghost rows."""
+            for p in range(nparts):
+                bk.gather_rows(R[p], owned_l[p], ws.VC[offs[p]:offs[p + 1]])
+            bk.scatter_rows(ws.RG, perm, ws.VC)
+            counters.charge("halo.exchange.precond", 0.0, comm_bytes)
+            precond.apply(ws.RG, out=ws.ZG)
+            for p in range(nparts):
+                bk.gather_rows(ws.ZG, gdofs[p], Z[p])
+                bk.quantize_store(Z[p], prec)
+    else:
+
+        def apply_precond() -> None:
+            for p in range(nparts):
+                local_preconds[p].apply(R[p], out=Z[p])
+                bk.quantize_store(Z[p], prec)
+
     norm_b = owned_norm(Bp, np.empty(r))
     zero_rhs = norm_b == 0.0
     denom = np.where(zero_rhs, 1.0, norm_b)
@@ -269,9 +323,7 @@ def distributed_pcg(
 
     while not done.all() and loop_it < max_iter:
         loop_it += 1
-        for p in range(nparts):
-            local_preconds[p].apply(R[p], out=Z[p])
-            bk.quantize_store(Z[p], prec)
+        apply_precond()
         owned_dot(Z, R, rho)
         # beta = rho/rho_prev with converged/zero columns frozen at 0
         # (the exact scalar dance of repro.sparse.cg.pcg).

@@ -17,6 +17,9 @@
   over the registered workload library, one campaign cell per
   scenario (iterations/step, earned predictor history, achieved
   residual, inflation vs the impulse anchor).
+* :mod:`~repro.studies.twogrid` — preconditioner comparison: paired
+  block-Jacobi vs geometric two-grid cells per scenario x resolution
+  (iteration reduction and modeled time, anchored on soft-soil).
 
 Both sweeps are also expressible as *campaigns* (see
 :mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
@@ -60,6 +63,13 @@ from repro.studies.scenarios import (
     scenario_cells,
     scenario_table,
 )
+from repro.studies.twogrid import (
+    TwoGridPoint,
+    render_twogrid_table,
+    run_twogrid_campaign,
+    twogrid_cells,
+    twogrid_table,
+)
 
 __all__ = [
     "StepProfile",
@@ -88,4 +98,9 @@ __all__ = [
     "run_scenario_campaign",
     "scenario_table",
     "render_scenario_table",
+    "TwoGridPoint",
+    "twogrid_cells",
+    "run_twogrid_campaign",
+    "twogrid_table",
+    "render_twogrid_table",
 ]

@@ -112,6 +112,44 @@ def test_resume_from_every_checkpoint(ground_problem, make_forces):
         assert golden_diff(straight, _doc(resumed)) == [], state["step"]
 
 
+def test_resume_bit_identical_under_twogrid(
+    ground_problem, make_forces, tmp_path
+):
+    """The preconditioner axis threads through checkpoint/resume: a
+    two-grid run interrupted mid-campaign resumes to the same bits."""
+    forces = make_forces(ground_problem, 2)
+    kw = dict(method="ebe-mcg@cpu-gpu", s_range=(2, 4), precond="twogrid")
+    straight = run_method(ground_problem, forces, nt=NT, **kw)
+
+    saved = {}
+    run_method(
+        ground_problem, forces, nt=NT, checkpoint_every=3,
+        on_checkpoint=lambda doc: saved.update(doc), **kw
+    )
+    assert saved["precond"] == "twogrid"  # family stamped in the header
+    path = save_pipeline_state(saved, tmp_path / "state.json")
+    resumed = run_method(
+        ground_problem, forces, nt=NT,
+        start_state=load_pipeline_state(path), **kw
+    )
+    assert golden_diff(_doc(straight), _doc(resumed)) == []
+
+
+def test_default_precond_absent_from_checkpoint_header(
+    ground_problem, make_forces
+):
+    """Block-Jacobi runs write exactly the pre-axis state document, so
+    old checkpoints keep resuming (and old goldens keep matching)."""
+    forces = make_forces(ground_problem, 2)
+    saved = {}
+    run_method(
+        ground_problem, forces, nt=4, method="ebe-mcg@cpu-gpu",
+        s_range=(2, 4), checkpoint_every=2,
+        on_checkpoint=lambda doc: saved.update(doc),
+    )
+    assert "precond" not in saved
+
+
 def test_header_mismatch_rejected(ground_problem, make_forces):
     """A state document only resumes the exact configuration that
     wrote it — method, nparts, precision and step range all guard."""
@@ -134,6 +172,11 @@ def test_header_mismatch_rejected(ground_problem, make_forces):
         run_method(
             ground_problem, forces, nt=4, method="ebe-mcg@cpu-gpu",
             precision="fp21", **kw
+        )
+    with pytest.raises(ValueError, match="precond"):
+        run_method(
+            ground_problem, forces, nt=4, method="ebe-mcg@cpu-gpu",
+            precond="twogrid", **kw
         )
     with pytest.raises(ValueError, match="step"):
         # the checkpoint (step 2) is already past this run's end

@@ -13,9 +13,13 @@ Guarded regions:
 * ``distributed.distributed_pcg`` — its ``while`` loop body and the
   ``owned_dot`` / ``owned_norm`` / ``apply_A`` closures it calls from
   inside the loop;
+* ``distributed.distributed_pcg`` — both ``apply_precond`` closures
+  (per-part block-Jacobi and the gather/cycle/scatter global family);
 * ``ebe.EBEOperator._sweep`` — the gather/apply/scatter sweep;
 * ``bcrs.BlockCRS._apply_block`` — the CSR SpMV fast path;
-* ``precond.BlockJacobi._apply_block`` — the block-Jacobi fast path.
+* ``precond.BlockJacobi._apply_block`` — the block-Jacobi fast path;
+* ``twogrid.TwoGrid._cycle`` / ``_residual`` — the two-grid V-cycle
+  applied once per CG iteration.
 
 Cold code (setup, validation, result assembly) may use NumPy freely —
 only the per-iteration regions are linted.
@@ -26,7 +30,7 @@ import inspect
 
 import pytest
 
-from repro.sparse import bcrs, cg, distributed, ebe, precond
+from repro.sparse import bcrs, cg, distributed, ebe, precond, twogrid
 
 FORBIDDEN_NAMES = {"np", "numpy"}
 
@@ -96,6 +100,23 @@ def test_distributed_closures_are_backend_pure(closure):
     _assert_pure(f"distributed_pcg.{closure}", inner.body)
 
 
+def test_distributed_precond_closures_are_backend_pure():
+    """Both preconditioner application closures (the per-part default
+    and the global two-grid gather/cycle/scatter) run once per loop
+    iteration — each must stay on the seam."""
+    fn = _find_function(_module_tree(distributed), "distributed_pcg")
+    closures = [
+        n for n in ast.walk(fn)
+        if isinstance(n, ast.FunctionDef) and n.name == "apply_precond"
+    ]
+    assert len(closures) == 2, "expected the global and per-part variants"
+    for inner in closures:
+        _assert_pure(
+            f"distributed_pcg.apply_precond (line {inner.lineno})",
+            inner.body,
+        )
+
+
 def test_ebe_sweep_is_backend_pure():
     fn = _find_method(_module_tree(ebe), "EBEOperator", "_sweep")
     _assert_pure("EBEOperator._sweep", fn.body)
@@ -109,6 +130,16 @@ def test_bcrs_apply_is_backend_pure():
 def test_precond_apply_is_backend_pure():
     fn = _find_method(_module_tree(precond), "BlockJacobi", "_apply_block")
     _assert_pure("BlockJacobi._apply_block", fn.body)
+
+
+@pytest.mark.parametrize("method", ["_cycle", "_residual"])
+def test_twogrid_cycle_is_backend_pure(method):
+    """The V-cycle is the new per-iteration hot region: smoothing,
+    transfers and residuals all dispatch through ``bk.*``.  (No
+    ``_while_body`` here — the cycle's loops are bounded ``for``
+    sweeps; the whole body is hot.)"""
+    fn = _find_method(_module_tree(twogrid), "TwoGrid", method)
+    _assert_pure(f"TwoGrid.{method}", fn.body)
 
 
 def test_lint_detects_violations():
