@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.campaign.spec import DEFAULT_SCENARIO
+from repro.campaign.spec import DEFAULT_PREDICTOR, DEFAULT_SCENARIO
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner -> here)
     from repro.campaign.runner import CellOutcome
@@ -79,6 +79,7 @@ class CampaignReport:
                     "method": p.get("method"),
                     "nparts": p.get("nparts", 1),
                     "precision": p.get("precision", "fp64"),
+                    "predictor": p.get("predictor", DEFAULT_PREDICTOR),
                     "resolution": "x".join(map(str, p.get("resolution", []))),
                     "n_dofs": o.result.get("n_dofs"),
                     "cached": o.cached,
@@ -123,15 +124,18 @@ class CampaignReport:
 
     @staticmethod
     def _variant(r: dict) -> str:
-        """Display name of a method variant: part count and storage
-        precision are appended at non-default values (``method@p4``,
-        ``method@fp21``) — averaging across either axis would present
-        a meaningless blend as the method's throughput."""
+        """Display name of a method variant: part count, storage
+        precision and predictor are appended at non-default values
+        (``method@p4``, ``method@fp21``, ``method@aitken``) —
+        averaging across any of these axes would present a meaningless
+        blend as the method's throughput."""
         m = r["method"]
         if r["nparts"] != 1:
             m += f"@p{r['nparts']}"
         if r["precision"] != "fp64":
             m += f"@{r['precision']}"
+        if r["predictor"] != DEFAULT_PREDICTOR:
+            m += f"@{r['predictor']}"
         return m
 
     def by_method(self) -> dict[str, dict]:
@@ -245,7 +249,8 @@ class CampaignReport:
                 str(a["n_cells"]),
                 f"{a['elapsed_per_step_per_case_s']:.3e}",
                 f"{a['iterations_per_step']:.1f}",
-                f"{a['predictor_s_used']:.1f}",
+                "-" if a["predictor_s_used"] != a["predictor_s_used"]
+                else f"{a['predictor_s_used']:.1f}",
                 f"{a['achieved_relres']:.2e}",
             ]
             for (scenario, model, wave), a in self.by_scenario().items()

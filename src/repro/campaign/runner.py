@@ -164,10 +164,13 @@ def run_method_cell(params: dict, ctx: dict | None = None) -> dict:
     entry (> 1) runs the cell through the distributed part-local
     solver, an optional ``"precision"`` entry (non-fp64) through
     the transprecision solver stack, and an optional ``"backend"``
-    entry (non-numpy) through an accelerated array backend, and an
+    entry (non-numpy) through an accelerated array backend, an
     optional ``"precond"`` entry (non-``"bj"``) through an alternative
-    preconditioner family — the scenario seed is unchanged by all five
-    axes, so sweeps compare identical random draws.  The backend always
+    preconditioner family, and an optional ``"predictor"`` entry
+    (non-``"auto"``) through a registered initial-guess predictor
+    (:mod:`repro.predictor.registry`) — the scenario seed is unchanged
+    by all six axes, so sweeps compare identical random draws.  The
+    backend always
     comes from the cell
     params (never the ``REPRO_BACKEND`` ambient default): the result
     is cached under the cell's content hash, so the environment must
@@ -244,6 +247,7 @@ def run_method_cell(params: dict, ctx: dict | None = None) -> dict:
         precision=params.get("precision", "fp64"),
         backend=params.get("backend", "numpy"),
         precond=params.get("precond", "bj"),
+        predictor=params.get("predictor", "auto"),
         start_state=start_state,
         checkpoint_every=checkpoint_every,
         on_checkpoint=on_checkpoint,

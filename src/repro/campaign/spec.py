@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_PRECONDITIONER",
+    "DEFAULT_PREDICTOR",
     "DEFAULT_SCENARIO",
     "WaveSpec",
     "CampaignCell",
@@ -93,6 +94,21 @@ def _validate_precond(name: str) -> str:
             f"unknown preconditioner {name!r}; choose from {PRECONDITIONERS}"
         )
     return name
+
+
+#: The initial-guess predictor pre-axis cells implicitly ran: the
+#: ``"auto"`` sentinel resolving to each method's paper-native pairing
+#: (must mirror :data:`repro.predictor.registry.DEFAULT_PREDICTOR`;
+#: kept literal so the spec layer stays import-light).
+DEFAULT_PREDICTOR = "auto"
+
+
+def _validate_predictor(name: str) -> str:
+    """Spec-time predictor validation (lazy import; the registry's own
+    resolver raises loudly on unknown names)."""
+    from repro.predictor.registry import predictor_by_name
+
+    return predictor_by_name(str(name)).name
 
 
 def _validate_backend(name: str) -> str:
@@ -186,20 +202,22 @@ def method_cell_params(
     scenario: str = DEFAULT_SCENARIO,
     backend: str = DEFAULT_BACKEND,
     precond: str = DEFAULT_PRECONDITIONER,
+    predictor: str = DEFAULT_PREDICTOR,
 ) -> tuple[dict, str]:
     """Canonical ``(params, label)`` of one ``"method"`` campaign cell.
 
     The single owner of the method-cell schema: grid expansion
     (:meth:`CampaignSpec.cells`) and the scaling/transprecision/
-    scenario studies (:mod:`repro.studies.weakscaling`,
+    scenario/predictor studies (:mod:`repro.studies.weakscaling`,
     :mod:`repro.studies.transprecision`,
-    :mod:`repro.studies.scenarios`) all build their cells here, so
-    equivalent work always produces the same content hash.  ``nparts``,
-    ``precision``, ``scenario``, ``backend`` and ``precond`` enter the
-    params (and hence the hash) only at non-default values — the
-    content-addition discipline that keeps pre-axis cells cached — and
-    the scenario ``seed`` is independent of all five, so sweeps along
-    any axis compare identical random draws.
+    :mod:`repro.studies.scenarios`, :mod:`repro.studies.predictors`)
+    all build their cells here, so equivalent work always produces the
+    same content hash.  ``nparts``, ``precision``, ``scenario``,
+    ``backend``, ``precond`` and ``predictor`` enter the params (and
+    hence the hash) only at non-default values — the content-addition
+    discipline that keeps pre-axis cells cached — and the scenario
+    ``seed`` is independent of all six, so sweeps along any axis
+    compare identical random draws.
     """
     res = tuple(int(x) for x in resolution)
     res_tag = "x".join(map(str, res))
@@ -232,6 +250,9 @@ def method_cell_params(
     if precond != DEFAULT_PRECONDITIONER:
         params["precond"] = _validate_precond(str(precond))
         label += f"/{precond}"
+    if predictor != DEFAULT_PREDICTOR:
+        params["predictor"] = _validate_predictor(str(predictor))
+        label += f"/{predictor}"
     return params, label
 
 
@@ -317,6 +338,16 @@ class CampaignSpec:
     #: preconditioners to an existing campaign never invalidates cached
     #: block-Jacobi cells.
     preconditioners: tuple[str, ...] = (DEFAULT_PRECONDITIONER,)
+    #: Predictor axis: every method additionally runs under each
+    #: initial-guess predictor here — the ``"auto"`` sentinel (each
+    #: method's paper-native pairing) or any registered name from
+    #: :mod:`repro.predictor.registry` (``constant``, ``linear``,
+    #: ``adams-bashforth``, ``data-driven``, ``aitken``, ``iqn-ils``).
+    #: The ``"auto"`` default keeps its pre-axis content hash (same
+    #: discipline as the other axes), so adding predictors to an
+    #: existing campaign never invalidates cached native-predictor
+    #: cells.
+    predictors: tuple[str, ...] = (DEFAULT_PREDICTOR,)
 
     def __post_init__(self) -> None:
         from repro.core.methods import METHODS
@@ -411,6 +442,16 @@ class CampaignSpec:
             _validate_precond(pc)
         if len(set(self.preconditioners)) != len(self.preconditioners):
             raise ValueError("duplicate preconditioner entries")
+        object.__setattr__(
+            self, "predictors", tuple(str(p) for p in self.predictors)
+        )
+        if not self.predictors:
+            raise ValueError("campaign grid has an empty axis")
+        for pred in self.predictors:
+            if pred != DEFAULT_PREDICTOR:
+                _validate_predictor(pred)
+        if len(set(self.predictors)) != len(self.predictors):
+            raise ValueError("duplicate predictor entries")
 
     def _part_axis(self, method: str) -> tuple[int, ...]:
         """The part counts one method expands over (baselines run once)."""
@@ -426,6 +467,7 @@ class CampaignSpec:
             * len(self.scenarios)
             * len(self.backends)
             * len(self.preconditioners)
+            * len(self.predictors)
             * sum(len(self._part_axis(m)) for m in self.methods)
         )
 
@@ -440,21 +482,23 @@ class CampaignSpec:
                     for prec in self.precision:
                         for bk in self.backends:
                             for pc in self.preconditioners:
-                                params, label = method_cell_params(
-                                    model, wave, method, res,
-                                    cases=self.cases, steps=self.steps,
-                                    module=self.module, eps=self.eps,
-                                    s_min=self.s_min, s_max=self.s_max,
-                                    seed=self.seed, nparts=np_,
-                                    precision=prec, scenario=scen,
-                                    backend=bk, precond=pc,
-                                )
-                                out.append(
-                                    CampaignCell(
-                                        kind="method", params=params,
-                                        label=label,
+                                for pred in self.predictors:
+                                    params, label = method_cell_params(
+                                        model, wave, method, res,
+                                        cases=self.cases, steps=self.steps,
+                                        module=self.module, eps=self.eps,
+                                        s_min=self.s_min, s_max=self.s_max,
+                                        seed=self.seed, nparts=np_,
+                                        precision=prec, scenario=scen,
+                                        backend=bk, precond=pc,
+                                        predictor=pred,
                                     )
-                                )
+                                    out.append(
+                                        CampaignCell(
+                                            kind="method", params=params,
+                                            label=label,
+                                        )
+                                    )
         return out
 
     # -- (de)serialization --------------------------------------------

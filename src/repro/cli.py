@@ -10,6 +10,9 @@ Commands
 ``backends``
     List the registered array backends (execution engines for the
     solver hot loops) and whether each is importable here.
+``predictors``
+    List the registered initial-guess predictors (the zoo of
+    :mod:`repro.predictor.registry`) plus the ``auto`` sentinel.
 ``info``
     Build a problem and print its discretization facts.
 ``run``
@@ -26,6 +29,10 @@ Commands
     Compare the geometric two-grid preconditioner against block-Jacobi
     (paired campaign cells per scenario x resolution; iteration
     reduction and modeled speedup, anchored on soft-soil).
+``predictorzoo``
+    Sweep the initial-guess predictor zoo across scenarios (one
+    campaign cell per scenario x resolution x predictor; iterations
+    per step and earned history, anchored on data-driven).
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.hardware.specs import MODULES
+    from repro.predictor.registry import DEFAULT_PREDICTOR, predictor_names
     from repro.sparse.backend import backend_names, default_backend_name
     from repro.sparse.precision import PRECISIONS
     from repro.sparse.precond import DEFAULT_PRECONDITIONER, PRECONDITIONERS
@@ -47,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     precisions = sorted(PRECISIONS)
     scenarios = list(scenario_names())
     backends = list(backend_names())
+    predictors = [DEFAULT_PREDICTOR, *predictor_names()]
     p = argparse.ArgumentParser(
         prog="repro",
         description="Heterogeneous CPU-GPU time-evolution solver (SC'24 reproduction)",
@@ -56,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("models", help="list ground-structure workloads")
     sub.add_parser("scenarios", help="list registered workload scenarios")
     sub.add_parser("backends", help="list registered array backends")
+    sub.add_parser("predictors", help="list registered initial-guess predictors")
 
     info = sub.add_parser("info", help="print problem facts")
     _add_problem_args(info)
@@ -88,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=list(PRECONDITIONERS),
                      help="preconditioner family: 'bj' block-Jacobi, "
                           "'twogrid' geometric two-grid cycle")
+    run.add_argument("--predictor", default=DEFAULT_PREDICTOR,
+                     choices=predictors,
+                     help="initial-guess predictor ('auto' = the "
+                          "method's paper-native pairing; see "
+                          "`repro predictors`)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", default=None, help="save result JSON here")
     run.add_argument("--vtk", default=None, help="save final displacement VTK here")
@@ -131,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--precond", default=DEFAULT_PRECONDITIONER,
                       help="comma-separated preconditioner families for "
                            "the preconditioner axis, e.g. 'bj,twogrid'")
+    camp.add_argument("--predictor", default=DEFAULT_PREDICTOR,
+                      help="comma-separated initial-guess predictors for "
+                           "the predictor axis, e.g. 'auto,aitken,iqn-ils' "
+                           "(see `repro predictors`)")
     camp.add_argument("--module", default="single-gh200",
                       choices=modules)
     camp.add_argument("--seed", type=int, default=0)
@@ -168,6 +187,31 @@ def build_parser() -> argparse.ArgumentParser:
     tg.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = inline)")
     tg.add_argument("--store", default=None,
+                    help="optional result store directory (content-hash "
+                         "cache shared with `repro campaign`)")
+
+    pz = sub.add_parser(
+        "predictorzoo",
+        help="sweep the initial-guess predictor zoo across scenarios",
+    )
+    pz.add_argument("--predictors", default=None,
+                    help="comma-separated registered predictors "
+                         "(default: the whole zoo; see `repro predictors`)")
+    pz.add_argument("--scenarios", default="impulse,aftershocks",
+                    help="comma-separated scenarios to sweep "
+                         "(see `repro scenarios`)")
+    pz.add_argument("--resolutions", default="2,2,1",
+                    help="semicolon-separated resolutions, e.g. '2,2,1;4,4,2'")
+    pz.add_argument("--model", default="stratified",
+                    help="ground model of the swept cells")
+    pz.add_argument("--method", default="ebe-mcg@cpu-gpu")
+    pz.add_argument("--cases", type=int, default=2, help="ensemble size")
+    pz.add_argument("--steps", type=int, default=8, help="time steps")
+    pz.add_argument("--module", default="single-gh200", choices=modules)
+    pz.add_argument("--seed", type=int, default=0)
+    pz.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = inline)")
+    pz.add_argument("--store", default=None,
                     help="optional result store directory (content-hash "
                          "cache shared with `repro campaign`)")
     return p
@@ -242,6 +286,24 @@ def _cmd_backends(_args) -> int:
     return 0
 
 
+def _cmd_predictors(_args) -> int:
+    from repro.core.methods import NATIVE_PREDICTORS
+    from repro.predictor.registry import (
+        DEFAULT_PREDICTOR,
+        predictor_by_name,
+        predictor_names,
+    )
+
+    native = ", ".join(
+        f"{m}->{p}" for m, p in NATIVE_PREDICTORS.items()
+    )
+    print(f"{DEFAULT_PREDICTOR:14s} the method's paper-native pairing "
+          f"({native})")
+    for name in predictor_names():
+        print(f"{name:14s} {predictor_by_name(name).description}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     problem = _problem(args)
     mesh = problem.mesh
@@ -285,7 +347,7 @@ def _cmd_run(args) -> int:
             module=_module(args.module), s_range=(args.s_min, args.s_max),
             cpu_threads=args.threads, nparts=args.nparts,
             precision=args.precision, backend=args.backend,
-            precond=args.precond,
+            precond=args.precond, predictor=args.predictor,
         )
     except BackendUnavailableError as exc:
         raise SystemExit(f"backend unavailable: {exc}") from exc
@@ -361,6 +423,7 @@ def _campaign_spec(args):
             scenarios=tuple(args.scenario.split(",")),
             backends=tuple(args.backend.split(",")),
             preconditioners=tuple(args.precond.split(",")),
+            predictors=tuple(args.predictor.split(",")),
         )
     except ValueError as exc:
         raise SystemExit(f"bad campaign grid: {exc}") from exc
@@ -395,6 +458,8 @@ def _cmd_campaign(args) -> int:
         axes += ", backends " + ",".join(spec.backends)
     if len(spec.preconditioners) > 1:
         axes += ", preconditioners " + ",".join(spec.preconditioners)
+    if len(spec.predictors) > 1:
+        axes += ", predictors " + ",".join(spec.predictors)
     print(f"\ncampaign {spec.name!r}: {spec.n_cells} cells ({axes}), "
           f"jobs={args.jobs}\n")
     print(report.render())
@@ -447,17 +512,67 @@ def _cmd_twogrid(args) -> int:
     return 1 if n_failed else 0
 
 
+def _cmd_predictorzoo(args) -> int:
+    from repro.campaign import ResultStore
+    from repro.studies.predictors import (
+        predictor_cells,
+        predictor_table,
+        render_predictor_table,
+        run_predictor_campaign,
+    )
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    try:
+        resolutions = tuple(
+            tuple(int(x) for x in chunk.split(","))
+            for chunk in args.resolutions.split(";")
+        )
+        cells = predictor_cells(
+            predictors=(
+                tuple(args.predictors.split(","))
+                if args.predictors else None
+            ),
+            scenarios=tuple(args.scenarios.split(",")),
+            resolutions=resolutions,
+            model=args.model,
+            cases=args.cases,
+            steps=args.steps,
+            method=args.method,
+            module=args.module,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad predictor study grid: {exc}") from exc
+    store = ResultStore(args.store) if args.store else None
+    outcomes = run_predictor_campaign(cells, store=store, jobs=args.jobs)
+    n_failed = sum(1 for o in outcomes if not o.ok)
+    for o in outcomes:
+        if not o.ok:
+            print(f"FAILED {o.cell.label}: {o.error}")
+    points = predictor_table(outcomes)
+    if not points:
+        raise SystemExit("no predictor cell succeeded")
+    print()
+    print(render_predictor_table(points))
+    if store is not None:
+        print(f"store -> {store.root}")
+    return 1 if n_failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "models": _cmd_models,
         "scenarios": _cmd_scenarios,
         "backends": _cmd_backends,
+        "predictors": _cmd_predictors,
         "info": _cmd_info,
         "run": _cmd_run,
         "sensitivity": _cmd_sensitivity,
         "campaign": _cmd_campaign,
         "twogrid": _cmd_twogrid,
+        "predictorzoo": _cmd_predictorzoo,
     }
     return handlers[args.command](args)
 

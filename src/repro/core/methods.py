@@ -12,6 +12,13 @@ ebe-mcg@cpu-gpu    GPU         matrix-free EBE, r fused  data-driven@CPU
 The two ``@cpu-gpu`` methods run the heterogeneous two-set pipeline
 (Algorithms 3/4); the baselines run Algorithm 2 sequentially on a
 single device.
+
+The predictor column is each method's *native* pairing — what
+``predictor="auto"`` (the default) resolves to, and what every run
+before the predictor axis existed used.  Any registered predictor from
+:mod:`repro.predictor.registry` (``repro predictors`` lists the zoo)
+can be swapped in per run via ``run_method(..., predictor=...)`` or
+per campaign cell via the ``predictors`` axis.
 """
 
 from __future__ import annotations
@@ -21,25 +28,49 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.partitioned import PartitionedCaseSet
-from repro.core.pipeline import CaseSet, HeterogeneousPipeline
+from repro.core.pipeline import CaseSet, HeterogeneousPipeline, _s_effective
 from repro.core.problem import ElasticProblem
 from repro.core.results import RunResult, StepRecord
 from repro.hardware.power import PowerModel, energy_of_timeline
 from repro.hardware.roofline import DeviceModel
 from repro.hardware.specs import SINGLE_GH200, ModuleSpec
 from repro.hardware.transfer import TransferModel
-from repro.predictor.adams_bashforth import AdamsBashforth
 from repro.predictor.adaptive import AdaptiveSController
-from repro.predictor.datadriven import DataDrivenPredictor
+from repro.predictor.registry import (
+    DEFAULT_PREDICTOR,
+    build_predictor,
+    predictor_by_name,
+)
 from repro.sparse.backend import ArrayBackend, as_backend
 from repro.sparse.precision import Precision, as_precision
 from repro.sparse.precond import DEFAULT_PRECONDITIONER, PRECONDITIONERS
 from repro.util.timeline import Timeline
 
 __all__ = ["METHODS", "HETEROGENEOUS_METHODS", "PARTITIONABLE_METHODS",
+           "NATIVE_PREDICTORS", "native_predictor",
            "run_method", "estimate_memory", "cpu_share_factors"]
 
 METHODS = ("crs-cg@cpu", "crs-cg@gpu", "crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu")
+
+#: Each method's paper-native predictor (the table above) — what the
+#: ``"auto"`` sentinel resolves to.  Naming the native predictor
+#: explicitly is equivalent to the default in every observable way
+#: (numerics, cell hash, checkpoint header).
+NATIVE_PREDICTORS = {
+    "crs-cg@cpu": "adams-bashforth",
+    "crs-cg@gpu": "adams-bashforth",
+    "crs-cg@cpu-gpu": "data-driven",
+    "ebe-mcg@cpu-gpu": "data-driven",
+}
+
+
+def native_predictor(method: str) -> str:
+    """The registered predictor name ``predictor="auto"`` resolves to
+    for ``method`` (its paper-native pairing)."""
+    try:
+        return NATIVE_PREDICTORS[method]
+    except KeyError:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}") from None
 
 #: Methods that pair two process sets (and therefore need even
 #: ensembles) — the single source of truth for the spec-time validator.
@@ -200,6 +231,9 @@ class _BaselineDriver:
         precision: Precision,
         backend: ArrayBackend,
         precond: str = DEFAULT_PRECONDITIONER,
+        predictor: str = "adams-bashforth",
+        s_range: tuple[int, int] = (8, 32),
+        n_regions: int = 16,
     ) -> None:
         self.problem = problem
         self.module = module
@@ -211,11 +245,17 @@ class _BaselineDriver:
         self.tl = Timeline()
         self.records: list[StepRecord] = []
         self.waves: list[np.ndarray] = []
+        s_min, s_max = s_range
         self.sets = [
             CaseSet(
                 problem,
                 forces=[f],
-                predictors=[AdamsBashforth(problem.n_dofs, problem.dt)],
+                predictors=[
+                    build_predictor(
+                        predictor, problem.n_dofs, problem.dt,
+                        s_min=s_min, s_max=s_max, n_regions=n_regions,
+                    )
+                ],
                 op_kind="crs",
                 eps=eps,
                 precision=precision,
@@ -232,8 +272,12 @@ class _BaselineDriver:
         for it in range(start_step, start_step + nt):
             t0 = tl.makespan
             iters = []
+            s_vals = []
             t_solve = t_pred = relres = 0.0
             for cs in self.sets:
+                # capture before predict: the history length this very
+                # prediction consumes (same convention as the pipeline)
+                s_vals.append(_s_effective(cs))
                 guess, tp = cs.predict(it)
                 res, ts = cs.solve(it, guess)
                 tp_t = self.model.time_for_tally(tp)
@@ -252,7 +296,9 @@ class _BaselineDriver:
                     t_predictor=t_pred,
                     t_transfer=0.0,
                     t_step=tl.makespan - t0,
-                    s_used=0,
+                    s_used=max(
+                        (v for v in s_vals if v is not None), default=None
+                    ),
                     relres=relres,
                 )
             )
@@ -331,18 +377,21 @@ class _PipelineDriver:
 
 def _check_state_header(
     state: dict, *, method: str, nparts: int, precision: Precision, nt: int,
-    precond: str = DEFAULT_PRECONDITIONER,
+    precond: str = DEFAULT_PRECONDITIONER, predictor: str | None = None,
 ) -> int:
     """Validate a resume state against the run being started; returns
     the completed step count.  Mismatches fail loudly — resuming a
-    checkpoint into a different method/nparts/precision/precond
-    configuration would produce silently wrong numbers.  The execution
-    *backend* is deliberately absent from the header: checkpoints hold
-    only fp64 host state (Newmark kinematics, predictor history), so a
-    state saved under one backend resumes under any other.  The
-    ``precond`` key is written only at non-default (pre-axis
-    checkpoints stay byte-identical) and read with the default as
-    fallback, so old documents resume cleanly."""
+    checkpoint into a different method/nparts/precision/precond/
+    predictor configuration would produce silently wrong numbers.  The
+    execution *backend* is deliberately absent from the header:
+    checkpoints hold only fp64 host state (Newmark kinematics,
+    predictor history), so a state saved under one backend resumes
+    under any other.  The ``precond`` key is written only at
+    non-default (pre-axis checkpoints stay byte-identical) and read
+    with the default as fallback, so old documents resume cleanly; the
+    ``predictor`` key follows the same discipline (``None`` here means
+    the method-native predictor, and a header without the key means
+    the same)."""
     for key, want in (
         ("method", method),
         ("nparts", int(nparts)),
@@ -358,6 +407,12 @@ def _check_state_header(
         raise ValueError(
             f"checkpoint precond {got_precond!r} does not match "
             f"this run ({precond!r})"
+        )
+    got_pred = state.get("predictor")
+    if got_pred != predictor:
+        raise ValueError(
+            f"checkpoint predictor {got_pred or 'auto'!r} does not match "
+            f"this run ({predictor or 'auto'!r})"
         )
     step = int(state.get("step", -1))
     if not 0 < step <= nt:
@@ -378,17 +433,20 @@ def _run_chunks(
     checkpoint_every: int,
     on_checkpoint: Callable[[dict], None] | None,
     precond: str = DEFAULT_PRECONDITIONER,
+    predictor: str | None = None,
 ) -> None:
     """Drive ``nt`` total steps, optionally resuming from
     ``start_state`` and flushing a state document to ``on_checkpoint``
     every ``checkpoint_every`` completed steps.  Chunked execution is
     numerically invisible: ``run(k); run(nt-k)`` is bit-identical to
-    ``run(nt)`` (the PR-2 resume contract both drivers honor)."""
+    ``run(nt)`` (the PR-2 resume contract both drivers honor).
+    ``predictor`` is the resolved predictor name when it differs from
+    the method-native one, else ``None``."""
     done = 0
     if start_state is not None:
         done = _check_state_header(
             start_state, method=method, nparts=nparts, precision=precision,
-            nt=nt, precond=precond,
+            nt=nt, precond=precond, predictor=predictor,
         )
         driver.load_state_dict(start_state["state"])
     while done < nt:
@@ -407,6 +465,10 @@ def _run_chunks(
                 # only at non-default so pre-axis checkpoint documents
                 # stay byte-identical
                 doc["precond"] = precond
+            if predictor is not None:
+                # same discipline: only non-native predictors mark the
+                # header, so auto runs keep pre-axis checkpoint bytes
+                doc["predictor"] = predictor
             on_checkpoint(doc)
 
 
@@ -433,6 +495,8 @@ def _run_heterogeneous(
     precision: Precision,
     backend: ArrayBackend,
     precond: str,
+    predictor: str,
+    header_pred: str | None,
     start_state: dict | None,
     checkpoint_every: int,
     on_checkpoint: Callable[[dict], None] | None,
@@ -441,6 +505,8 @@ def _run_heterogeneous(
 
     ``nparts > 1`` runs the EBE sets on the distributed part-local
     solver (halo exchange per CG iteration, comm on the ``nic`` lane).
+    ``predictor`` is the resolved registered name to build per case;
+    ``header_pred`` the checkpoint-header form (``None`` = native).
     """
     n_cases = len(forces)
     if n_cases < 2 or n_cases % 2:
@@ -467,12 +533,9 @@ def _run_heterogeneous(
 
     def make_set(fs: Sequence[Callable[[int], np.ndarray]]) -> CaseSet:
         predictors = [
-            DataDrivenPredictor(
-                problem.n_dofs,
-                problem.dt,
-                s_max=s_max,
-                n_regions=n_regions,
-                s=s_min,
+            build_predictor(
+                predictor, problem.n_dofs, problem.dt,
+                s_min=s_min, s_max=s_max, n_regions=n_regions,
             )
             for _ in fs
         ]
@@ -523,7 +586,7 @@ def _run_heterogeneous(
         _PipelineDriver(pipe),
         nt=nt, method=method, nparts=nparts, precision=precision,
         start_state=start_state, checkpoint_every=checkpoint_every,
-        on_checkpoint=on_checkpoint, precond=precond,
+        on_checkpoint=on_checkpoint, precond=precond, predictor=header_pred,
     )
 
     power = energy_of_timeline(pipe.timeline, pm)
@@ -562,6 +625,7 @@ def run_method(
     precision: Precision | str | None = None,
     backend: "ArrayBackend | str | None" = None,
     precond: str = DEFAULT_PRECONDITIONER,
+    predictor: str = DEFAULT_PREDICTOR,
     start_state: dict | None = None,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[dict], None] | None = None,
@@ -612,6 +676,15 @@ def run_method(
         apply / scatter, wire traffic on the ``nic`` lane).
         Checkpoints record a non-default precond in their header and
         refuse to resume under a different one.
+    predictor : initial-guess predictor, a registered name from
+        :mod:`repro.predictor.registry` (``repro predictors`` lists
+        them) or the ``"auto"`` default — the method's paper-native
+        pairing (:data:`NATIVE_PREDICTORS`: Adams-Bashforth for the
+        single-device baselines, data-driven for the heterogeneous
+        pipeline).  Naming the native predictor explicitly is
+        equivalent to ``"auto"`` in every observable way.  Non-native
+        predictors are recorded in checkpoint headers, which refuse to
+        resume under a different one.
     start_state : a state document produced by ``on_checkpoint`` (or
         loaded via :func:`repro.io.results.load_pipeline_state`): the
         run resumes from the checkpointed step and only executes the
@@ -646,22 +719,34 @@ def run_method(
     bk = as_backend(backend)
     if checkpoint_every < 0:
         raise ValueError("checkpoint_every must be >= 0")
+    # Resolve the predictor: "auto" means the method's native pairing;
+    # an explicit name must exist in the registry (typos fail loudly
+    # before any work starts).  The checkpoint header records only
+    # non-native choices, so naming the native predictor explicitly
+    # stays equivalent to the default.
+    if predictor is None or predictor == DEFAULT_PREDICTOR:
+        resolved = native_predictor(method)
+    else:
+        resolved = predictor_by_name(predictor).name
+    header_pred = resolved if resolved != native_predictor(method) else None
     if method in ("crs-cg@cpu", "crs-cg@gpu"):
         device = method.split("@", 1)[1]
         driver = _BaselineDriver(
             problem, forces, module, device, eps, waveform_dofs, prec, bk,
-            precond=precond,
+            precond=precond, predictor=resolved, s_range=s_range,
+            n_regions=n_regions,
         )
         _run_chunks(
             driver,
             nt=nt, method=method, nparts=nparts, precision=prec,
             start_state=start_state, checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint, precond=precond,
+            predictor=header_pred,
         )
         return driver.result()
     op_kind = "ebe" if method.startswith("ebe") else "crs"
     return _run_heterogeneous(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
         cpu_threads, waveform_dofs, nparts, prec, bk, precond,
-        start_state, checkpoint_every, on_checkpoint,
+        resolved, header_pred, start_state, checkpoint_every, on_checkpoint,
     )

@@ -36,9 +36,11 @@ from repro.util.timeline import Timeline
 __all__ = ["CaseSet", "HeterogeneousPipeline", "PipelineState"]
 
 
-def _s_effective(cs: "CaseSet") -> int:
-    """The history length the set's predictors are using right now."""
-    return getattr(cs.predictors[0], "s_effective", 0)
+def _s_effective(cs: "CaseSet") -> int | None:
+    """The history length the set's predictors are using right now
+    (``None`` for predictors without a history-length notion, so the
+    ``s_used`` reporting does not dilute campaign means with zeros)."""
+    return getattr(cs.predictors[0], "s_effective", None)
 
 
 @dataclass
@@ -218,7 +220,7 @@ class PipelineState:
     set_a: dict
     set_b: dict
     next_guesses_b: list | None
-    next_s_b: int
+    next_s_b: int | None
     controller: dict | None
     timeline: dict
     records: list
@@ -263,7 +265,9 @@ class HeterogeneousPipeline:
     # set B's prediction for the next step, carried across run() calls
     # so resumed runs continue instead of re-bootstrapping
     _next_guesses_b: np.ndarray | None = field(default=None, repr=False)
-    _next_s_b: int = field(default=0, repr=False)
+    # None when set B's predictor keeps no history length (see
+    # ``_s_effective``); 0 only as the pre-bootstrap default
+    _next_s_b: int | None = field(default=0, repr=False)
 
     def _gpu_concurrent(self) -> DeviceModel:
         f = self.power.gpu_throttle_factor(cpu_concurrent=True)
@@ -405,7 +409,7 @@ class HeterogeneousPipeline:
             set_a=self.set_a.state_dict(),
             set_b=self.set_b.state_dict(),
             next_guesses_b=self._next_guesses_b,
-            next_s_b=int(self._next_s_b),
+            next_s_b=None if self._next_s_b is None else int(self._next_s_b),
             controller=(
                 self.controller.state_dict()
                 if self.controller is not None
@@ -429,7 +433,9 @@ class HeterogeneousPipeline:
             if state.next_guesses_b is None
             else np.asarray(state.next_guesses_b, dtype=float)
         )
-        self._next_s_b = int(state.next_s_b)
+        self._next_s_b = (
+            None if state.next_s_b is None else int(state.next_s_b)
+        )
         if state.controller is not None:
             if self.controller is None or not hasattr(
                 self.controller, "load_state_dict"

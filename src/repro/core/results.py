@@ -28,8 +28,11 @@ class StepRecord:
     t_predictor: float  # modeled predictor seconds this step
     t_transfer: float  # modeled C2C seconds this step
     t_step: float  # makespan advance of this step
-    s_used: int = 0  # history length set A's prediction used (0 = AB-only)
-    s_used_b: int = 0  # history length set B's prediction used
+    # history length each process set's prediction used; None when the
+    # predictor has no history-length notion (plain extrapolation) so
+    # aggregation can skip it instead of averaging in spurious zeros
+    s_used: int | None = None  # set A (0 = history-bearing, warming up)
+    s_used_b: int | None = None  # set B
     t_halo: float = 0.0  # modeled inter-part halo/allreduce seconds
     relres: float = 0.0  # worst final relative residual across cases
 
@@ -46,8 +49,8 @@ class StepRecord:
             "t_predictor": self.t_predictor,
             "t_transfer": self.t_transfer,
             "t_step": self.t_step,
-            "s_used": int(self.s_used),
-            "s_used_b": int(self.s_used_b),
+            "s_used": None if self.s_used is None else int(self.s_used),
+            "s_used_b": None if self.s_used_b is None else int(self.s_used_b),
             "t_halo": self.t_halo,
             "relres": self.relres,
         }
@@ -61,8 +64,8 @@ class StepRecord:
             t_predictor=float(doc["t_predictor"]),
             t_transfer=float(doc["t_transfer"]),
             t_step=float(doc["t_step"]),
-            s_used=int(doc.get("s_used", 0)),
-            s_used_b=int(doc.get("s_used_b", 0)),
+            s_used=None if doc.get("s_used") is None else int(doc["s_used"]),
+            s_used_b=None if doc.get("s_used_b") is None else int(doc["s_used_b"]),
             t_halo=float(doc.get("t_halo", 0.0)),
             relres=float(doc.get("relres", 0.0)),
         )
@@ -128,18 +131,27 @@ class RunResult:
         p = self.power.get("module_power", 0.0)
         return p * self.elapsed_per_step_per_case(window)
 
-    def predictor_s_used(self, window: tuple[int, int] | None = None) -> float:
+    def predictor_s_used(self, window: tuple[int, int] | None = None) -> float | None:
         """Mean consumed history length over the window (the larger of
-        the two process sets' ``s``; 0 for the AB-only baselines) —
-        how much history the data-driven predictor actually earned,
-        which scenario difficulty tables read against iteration
-        counts (a source that keeps re-bootstrapping holds ``s``
-        down)."""
+        the two process sets' ``s``) — how much history the
+        history-bearing predictors actually earned, which scenario
+        difficulty tables read against iteration counts (a source that
+        keeps re-bootstrapping holds ``s`` down).  ``None`` when no
+        record carries a history length (plain-extrapolation
+        predictors), so campaign aggregation skips the run instead of
+        averaging in zeros."""
         recs = self._window(window)
-        return float(np.mean([max(r.s_used, r.s_used_b) for r in recs]))
+        vals = [
+            max(v for v in (r.s_used, r.s_used_b) if v is not None)
+            for r in recs
+            if r.s_used is not None or r.s_used_b is not None
+        ]
+        if not vals:
+            return None
+        return float(np.mean(vals))
 
     def s_trace(self) -> np.ndarray:
-        return np.asarray([r.s_used for r in self.records])
+        return np.asarray([0 if r.s_used is None else r.s_used for r in self.records])
 
     def summary(self, window: tuple[int, int] | None = None) -> dict[str, float]:
         return {

@@ -16,6 +16,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.predictor.registry import Predictor, register_predictor
 from repro.sparse.traffic import vector_traffic
 from repro.util import counters
 
@@ -30,7 +31,8 @@ _AB_COEFFS = {
 }
 
 
-class AdamsBashforth:
+@register_predictor
+class AdamsBashforth(Predictor):
     """Order-(<=4) Adams-Bashforth displacement extrapolator.
 
     Parameters
@@ -40,6 +42,12 @@ class AdamsBashforth:
     order : maximum extrapolation order (paper uses 4).
     tag : kernel tag for the (tiny) extrapolation cost.
     """
+
+    name = "adams-bashforth"
+    description = (
+        "4-step velocity extrapolation (paper §3.2) — the conventional "
+        "predictor of the single-device baselines"
+    )
 
     def __init__(self, n: int, dt: float, order: int = 4, tag: str = "predictor.ab") -> None:
         if order not in _AB_COEFFS:

@@ -28,6 +28,7 @@ from collections import deque
 import numpy as np
 
 from repro.predictor.adams_bashforth import AdamsBashforth
+from repro.predictor.registry import Predictor, register_predictor
 from repro.util import counters
 
 __all__ = ["DataDrivenPredictor", "mgs_estimate"]
@@ -87,7 +88,8 @@ def mgs_estimate(
     return np.einsum("rms,rs->rm", Y, w)
 
 
-class DataDrivenPredictor:
+@register_predictor
+class DataDrivenPredictor(Predictor):
     """The paper's data-driven predictor with adjustable history ``s``.
 
     Wraps an :class:`AdamsBashforth` extrapolator and adds the MGS
@@ -105,6 +107,19 @@ class DataDrivenPredictor:
     s : initial number of history pairs used (defaults to ``s_max``;
         the adaptive controller may change :attr:`s` every step).
     """
+
+    name = "data-driven"
+    description = (
+        "Adams-Bashforth + per-subdomain MGS correction estimate (the "
+        "paper's Eq. 3) — the heterogeneous pipeline's native predictor"
+    )
+
+    @classmethod
+    def build(cls, n, dt, *, s_min=8, s_max=32, n_regions=16):
+        """The exact construction :func:`repro.core.methods.run_method`
+        has always used for the heterogeneous sets: start at ``s_min``
+        (the adaptive controller earns more), cap at ``s_max``."""
+        return cls(n, dt, s_max=s_max, n_regions=n_regions, s=s_min)
 
     def __init__(
         self,

@@ -1,0 +1,187 @@
+"""IQN-ILS-style quasi-Newton correction of the Adams-Bashforth guess.
+
+The interface quasi-Newton method with inverse least-squares Jacobian
+(Degroote's IQN-ILS, the workhorse coupled solver of preCICE and
+CoCoNuT) approximates how a fixed-point map's *residual increments*
+translate into *solution increments* by solving a small least-squares
+problem over a bounded window of secant pairs, instead of forming any
+Jacobian.
+
+Transplanted to time-step prediction: the fixed-point "residual" of
+step ``it`` is the correction the refined solve applies on top of the
+Adams-Bashforth extrapolation,
+
+    d_it = u_it - u_bar(AB)_it .
+
+Successive corrections evolve smoothly while the wavefield does, so a
+surrogate linear model over the recent secant pairs
+
+    V_j = d_{it-j} - d_{it-j-1}   (inputs:  correction increments)
+    W_j = d_{it-j+1} - d_{it-j}   (outputs: the increments they led to)
+
+predicts the upcoming correction from the newest observed increment
+``dx = d_{it-1} - d_{it-2}``: solve ``min_c ||V c - dx||`` via economy
+QR and take
+
+    d_hat_it = d_{it-1} + W c ,      guess = u_bar(AB)_it + d_hat_it .
+
+Near-linearly-dependent columns are filtered the way preCICE's QR1
+filter does — diagonal entries of ``R`` below ``filter_rtol`` times
+the largest are dropped (newest-first ordering keeps the freshest
+secants) — otherwise stretches of near-periodic motion make ``V``
+rank-deficient and the least-squares coefficients explode.
+
+Unlike :class:`~repro.predictor.datadriven.DataDrivenPredictor` this
+keeps *one global* window (no per-subdomain split), needs no force
+history, and deliberately exposes no ``set_s`` — the window is fixed at
+build time, so the adaptive controller leaves it alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.predictor.adams_bashforth import AdamsBashforth
+from repro.predictor.registry import Predictor, register_predictor
+from repro.util import counters
+
+__all__ = ["IQNILSPredictor"]
+
+
+@register_predictor
+class IQNILSPredictor(Predictor):
+    """Quasi-Newton (IQN-ILS) correction over a bounded secant window.
+
+    Parameters
+    ----------
+    n : scalar dof count.
+    dt : time step.
+    window : maximum secant pairs kept (the least-squares history
+        bound; the property suite asserts it is never exceeded).
+    filter_rtol : relative diagonal threshold of the QR filter for
+        near-dependent secant columns.
+    """
+
+    name = "iqn-ils"
+    description = (
+        "quasi-Newton correction with an IQN-ILS least-squares "
+        "surrogate Jacobian over a bounded, QR-filtered secant window"
+    )
+
+    @classmethod
+    def build(cls, n, dt, *, s_min=8, s_max=32, n_regions=16):
+        """Map the run's history budget onto the secant window: the
+        window plays the role ``s`` plays for the data-driven
+        predictor, so it gets the same cap."""
+        return cls(n, dt, window=s_max)
+
+    def __init__(
+        self,
+        n: int,
+        dt: float,
+        window: int = 8,
+        filter_rtol: float = 1e-8,
+        tag: str = "predictor.iqn",
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.n = int(n)
+        self.dt = float(dt)
+        self.window = int(window)
+        self.filter_rtol = float(filter_rtol)
+        self.tag = tag
+        self.ab = AdamsBashforth(n, dt, tag=tag)
+        # corrections need window+2 entries to yield `window` V-columns
+        self._corr: deque[np.ndarray] = deque(maxlen=self.window + 2)
+        self._last_ab: np.ndarray | None = None
+
+    @property
+    def s_effective(self) -> int:
+        """Secant pairs the next prediction will consume."""
+        return max(0, min(self.window, len(self._corr) - 2))
+
+    def memory_bytes(self) -> int:
+        return 8 * self.n * len(self._corr) + self.ab.memory_bytes()
+
+    def state_dict(self) -> dict:
+        return {
+            "ab": self.ab.state_dict(),
+            "corr": list(self._corr),
+            "last_ab": self._last_ab,
+        }
+
+    def load_state_dict(self, doc: dict) -> None:
+        self.ab.load_state_dict(doc["ab"])
+        corr = [np.asarray(d, dtype=float) for d in doc["corr"]]
+        if any(d.shape != (self.n,) for d in corr):
+            raise ValueError("state size mismatch")
+        self._corr = deque(corr, maxlen=self.window + 2)
+        last = doc.get("last_ab")
+        self._last_ab = None if last is None else np.asarray(last, dtype=float)
+
+    def predict(self, f_next: np.ndarray | None = None) -> np.ndarray:
+        u_ab = self.ab.predict()
+        self._last_ab = u_ab.copy()
+        s = self.s_effective
+        if s < 1:
+            return u_ab
+
+        d = list(self._corr)
+        # Newest-first columns so the QR filter, which walks the
+        # diagonal in order, sacrifices the *stalest* secants first.
+        V = np.stack(
+            [d[-1 - j] - d[-2 - j] for j in range(1, s + 1)], axis=1
+        )
+        W = np.stack([d[-j] - d[-1 - j] for j in range(1, s + 1)], axis=1)
+        dx = d[-1] - d[-2]
+
+        c = self._filtered_lstsq(V, dx)
+        d_hat = d[-1] + W @ c
+
+        # cost: economy QR ~2ns^2, two n x s products, vector updates
+        counters.charge(
+            self.tag,
+            2.0 * self.n * s * s + 4.0 * self.n * s,
+            8.0 * self.n * (2 * s + 3),
+        )
+        return u_ab + d_hat
+
+    def _filtered_lstsq(self, V: np.ndarray, dx: np.ndarray) -> np.ndarray:
+        """Least-squares coefficients with iterative QR1 filtering:
+        drop columns whose ``|R_jj|`` falls below ``filter_rtol`` times
+        the largest diagonal entry, re-factorize, repeat until clean.
+        Returns coefficients in V's original column order (dropped
+        columns get 0)."""
+        s = V.shape[1]
+        keep = list(range(s))
+        c = np.zeros(s)
+        while keep:
+            Q, R = np.linalg.qr(V[:, keep], mode="reduced")
+            diag = np.abs(np.diag(R))
+            cap = float(diag.max())
+            if cap == 0.0:
+                return np.zeros(s)
+            bad = [j for j, dj in enumerate(diag) if dj <= self.filter_rtol * cap]
+            if not bad:
+                ck = np.linalg.solve(R, Q.T @ dx)
+                c = np.zeros(s)
+                c[keep] = ck
+                return c
+            # Drop the stalest offending column (largest index =
+            # oldest, given newest-first ordering) and retry.
+            keep.pop(bad[-1])
+        return np.zeros(s)
+
+    def observe(self, u: np.ndarray, v: np.ndarray,
+                f: np.ndarray | None = None) -> None:
+        if u.shape != (self.n,) or v.shape != (self.n,):
+            raise ValueError("state size mismatch")
+        if self._last_ab is None:
+            # Resume bootstrap / first step: AB would have predicted
+            # from the stored history (zeros initially).
+            self._last_ab = self.ab.predict()
+        self._corr.append(u - self._last_ab)
+        self.ab.observe(u, v)
+        self._last_ab = None

@@ -1,0 +1,116 @@
+"""Constant/linear extrapolation ladder — the floor of the predictor zoo.
+
+The classical predictor ladder from partitioned-coupling practice
+(CoCoNuT ships the same rungs under ``predictors/``): degree-0 and
+degree-1 polynomial extrapolation of the *displacement* history alone,
+no velocities, no learning.  They exist as honest baselines — any
+history-based accelerator must beat ``linear`` to earn its complexity
+— and as exactness anchors for the property suite (degree-``k``
+extrapolation reproduces degree-``<= k`` polynomial trajectories to
+rounding).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.predictor.registry import Predictor, register_predictor
+from repro.sparse.traffic import vector_traffic
+from repro.util import counters
+
+__all__ = ["ConstantPredictor", "LinearPredictor"]
+
+
+@register_predictor
+class ConstantPredictor(Predictor):
+    """Degree-0 extrapolation: the guess is the last converged
+    displacement (zeros before any history exists)."""
+
+    name = "constant"
+    description = (
+        "repeat the last converged displacement (degree-0 ladder rung)"
+    )
+
+    def __init__(self, n: int, dt: float, tag: str = "predictor.const") -> None:
+        self.n = int(n)
+        self.dt = float(dt)
+        self.tag = tag
+        self._u = np.zeros(self.n)
+
+    def memory_bytes(self) -> int:
+        return 8 * self.n
+
+    def state_dict(self) -> dict:
+        return {"u": self._u}
+
+    def load_state_dict(self, doc: dict) -> None:
+        u = np.asarray(doc["u"], dtype=float)
+        if u.shape != (self.n,):
+            raise ValueError("state size mismatch")
+        self._u = u
+
+    def predict(self, f_next: np.ndarray | None = None) -> np.ndarray:
+        w = vector_traffic(self.n, n_reads=1, n_writes=1, flops_per_entry=0.0)
+        counters.charge(self.tag, w.flops, w.bytes)
+        return self._u.copy()
+
+    def observe(self, u: np.ndarray, v: np.ndarray,
+                f: np.ndarray | None = None) -> None:
+        if u.shape != (self.n,):
+            raise ValueError("state size mismatch")
+        self._u = u.copy()
+
+
+@register_predictor
+class LinearPredictor(Predictor):
+    """Degree-1 extrapolation on displacements:
+    ``u_bar_it = 2 u_{it-1} - u_{it-2}``.
+
+    Distinct from order-1 Adams-Bashforth (which integrates the stored
+    *velocity*): this rung needs displacement history only, so it is
+    exact on trajectories linear in time regardless of how the
+    velocities behave.  With a single observed step it degrades to the
+    constant rung.
+    """
+
+    name = "linear"
+    description = (
+        "two-point displacement extrapolation (degree-1 ladder rung)"
+    )
+
+    def __init__(self, n: int, dt: float, tag: str = "predictor.linear") -> None:
+        self.n = int(n)
+        self.dt = float(dt)
+        self.tag = tag
+        self._u_hist: deque[np.ndarray] = deque(maxlen=2)
+
+    def memory_bytes(self) -> int:
+        return 8 * self.n * len(self._u_hist)
+
+    def state_dict(self) -> dict:
+        return {"u_hist": list(self._u_hist)}
+
+    def load_state_dict(self, doc: dict) -> None:
+        hist = [np.asarray(u, dtype=float) for u in doc["u_hist"]]
+        if any(u.shape != (self.n,) for u in hist):
+            raise ValueError("state size mismatch")
+        self._u_hist = deque(hist, maxlen=2)
+
+    def predict(self, f_next: np.ndarray | None = None) -> np.ndarray:
+        k = len(self._u_hist)
+        w = vector_traffic(self.n, n_reads=max(1, k), n_writes=1,
+                           flops_per_entry=2.0 * (k > 1))
+        counters.charge(self.tag, w.flops, w.bytes)
+        if k == 0:
+            return np.zeros(self.n)
+        if k == 1:
+            return self._u_hist[-1].copy()
+        return 2.0 * self._u_hist[-1] - self._u_hist[-2]
+
+    def observe(self, u: np.ndarray, v: np.ndarray,
+                f: np.ndarray | None = None) -> None:
+        if u.shape != (self.n,):
+            raise ValueError("state size mismatch")
+        self._u_hist.append(u.copy())

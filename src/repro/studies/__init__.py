@@ -20,6 +20,11 @@
 * :mod:`~repro.studies.twogrid` — preconditioner comparison: paired
   block-Jacobi vs geometric two-grid cells per scenario x resolution
   (iteration reduction and modeled time, anchored on soft-soil).
+* :mod:`~repro.studies.predictors` — initial-guess predictor zoo
+  sweep over the registered accelerators (constant/linear ladder,
+  Adams-Bashforth, Aitken, IQN-ILS, data-driven), one campaign cell
+  per scenario x predictor (iterations/step, earned history,
+  inflation vs the data-driven anchor).
 
 Both sweeps are also expressible as *campaigns* (see
 :mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
@@ -70,6 +75,13 @@ from repro.studies.twogrid import (
     twogrid_cells,
     twogrid_table,
 )
+from repro.studies.predictors import (
+    PredictorPoint,
+    predictor_cells,
+    predictor_table,
+    render_predictor_table,
+    run_predictor_campaign,
+)
 
 __all__ = [
     "StepProfile",
@@ -103,4 +115,9 @@ __all__ = [
     "run_twogrid_campaign",
     "twogrid_table",
     "render_twogrid_table",
+    "PredictorPoint",
+    "predictor_cells",
+    "run_predictor_campaign",
+    "predictor_table",
+    "render_predictor_table",
 ]

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.campaign.aggregate import format_table
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignCell, WaveSpec, method_cell_params
@@ -119,7 +121,10 @@ def scenario_table(outcomes) -> list[ScenarioPoint]:
                 o.cell.params.get("scenario", DEFAULT_SCENARIO),
                 float(s["elapsed_per_step_per_case_s"]),
                 float(s["iterations_per_step"]),
-                float(s.get("predictor_s_used", 0.0)),
+                # None = the run's predictor keeps no history length;
+                # NaN keeps the row without faking an earned s of 0
+                float("nan") if s.get("predictor_s_used") is None
+                else float(s["predictor_s_used"]),
                 float(s.get("achieved_relres", 0.0)),
             )
         )
@@ -152,7 +157,7 @@ def render_scenario_table(
             f"{p.elapsed_per_step:.3e}",
             f"{p.iterations_per_step:.1f}",
             f"{p.iteration_inflation:.2f}",
-            f"{p.predictor_s_used:.1f}",
+            "-" if np.isnan(p.predictor_s_used) else f"{p.predictor_s_used:.1f}",
             f"{p.achieved_relres:.2e}",
         ]
         for p in points

@@ -1,0 +1,117 @@
+"""Golden regression fixtures for the predictor-axis cells.
+
+Extends the per-scenario bit-stability contract of
+``test_golden_scenarios.py`` along the campaign's ``predictors`` axis:
+one committed fixture per (scenario, accelerator) for the two new
+stateful accelerators (``aitken``, ``iqn-ils``), pinned with the same
+deterministic ensemble the default fixtures use.  The default
+(``auto``/data-driven) fixtures in ``fixtures/*.json`` stay untouched
+and byte-identical — that is the content-addition guarantee the axis
+was built around, and ``test_predictor_cells_leave_default_fixtures``
+re-asserts it from this file's angle.
+
+Regenerate after an intentional numeric change with::
+
+    pytest tests/golden --regen-golden
+"""
+
+import pathlib
+
+import pytest
+
+from repro.campaign.runner import run_method_cell
+from repro.campaign.spec import cell_key
+from repro.io.golden import canonical, golden_diff, load_golden, save_golden
+from repro.workloads.scenario import scenario_names
+
+from test_golden_scenarios import fixture_path, golden_params
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "predictors"
+
+#: The stateful accelerators added by the predictor zoo — the ones
+#: whose numerics (omega updates, QR-filtered least squares) are worth
+#: pinning per scenario.  The ladder rungs are pure linear algebra
+#: over two vectors and stay property-tested instead.
+GOLDEN_PREDICTORS = ("aitken", "iqn-ils")
+
+
+def predictor_params(scenario: str, predictor: str) -> dict:
+    params = golden_params(scenario)
+    params["predictor"] = predictor
+    return params
+
+
+def predictor_fixture_path(scenario: str, predictor: str) -> pathlib.Path:
+    return FIXTURES / f"{scenario}--{predictor}.json"
+
+
+@pytest.mark.parametrize("predictor", GOLDEN_PREDICTORS)
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_predictor_summary_bit_stable(scenario, predictor, regen_golden):
+    params = predictor_params(scenario, predictor)
+    doc = {
+        "cell_key": cell_key("method", params),
+        "params": params,
+        "result": run_method_cell(dict(params)),
+    }
+    path = predictor_fixture_path(scenario, predictor)
+    if regen_golden:
+        save_golden(doc, path)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"missing golden fixture {path}; generate it with "
+            f"`pytest tests/golden --regen-golden` and commit the file"
+        )
+    diff = golden_diff(load_golden(path), canonical(doc))
+    assert not diff, (
+        "golden predictor summary drifted (bit-stability contract):\n  "
+        + "\n  ".join(diff)
+        + "\nif the change is intentional, regenerate with "
+        "`pytest tests/golden --regen-golden` and commit the fixtures"
+    )
+
+
+def test_predictor_fixture_set_complete(regen_golden):
+    if regen_golden:
+        pytest.skip("fixtures are being regenerated")
+    have = {p.stem for p in FIXTURES.glob("*.json")}
+    want = {
+        f"{s}--{p}" for s in scenario_names() for p in GOLDEN_PREDICTORS
+    }
+    assert have == want
+
+
+def test_predictor_fixtures_distinct_from_default(regen_golden):
+    """Each accelerator fixture pins different numbers than the
+    scenario's default (data-driven) fixture and than the other
+    accelerator — the axis cells exercise genuinely different
+    predictors, not a relabeled copy."""
+    if regen_golden:
+        pytest.skip("fixtures are being regenerated")
+    for s in scenario_names():
+        default = load_golden(fixture_path(s))["result"]["summary"]
+        zoo = {
+            p: load_golden(predictor_fixture_path(s, p))["result"]["summary"]
+            for p in GOLDEN_PREDICTORS
+        }
+        for p, summary in zoo.items():
+            assert summary != default, (s, p)
+        assert zoo["aitken"] != zoo["iqn-ils"], s
+
+
+def test_predictor_cells_leave_default_fixtures(regen_golden):
+    """The axis is a content addition: the predictor-axis params hash
+    to *new* cell keys, and the default params (and therefore the
+    committed default fixtures' pinned keys) are exactly what they
+    were — no ``predictor`` entry at all."""
+    if regen_golden:
+        pytest.skip("fixtures are being regenerated")
+    for s in scenario_names():
+        default = load_golden(fixture_path(s))
+        assert "predictor" not in default["params"]
+        assert default["cell_key"] == cell_key("method", default["params"])
+        for p in GOLDEN_PREDICTORS:
+            pinned = load_golden(predictor_fixture_path(s, p))
+            assert pinned["params"]["predictor"] == p
+            assert pinned["cell_key"] != default["cell_key"]

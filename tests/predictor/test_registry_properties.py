@@ -1,0 +1,314 @@
+"""Property tests over every registered predictor (hypothesis).
+
+The invariants the registry contract (:class:`repro.predictor.registry.
+Predictor` docstring) promises for *any* zoo member, present or
+future: finite deterministic predictions, exact state round-trips,
+bounded history — plus the per-rung exactness anchors (polynomial
+trajectories of matching degree) and the registry's loud-failure
+discipline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictor import AdamsBashforth, AitkenPredictor, IQNILSPredictor
+from repro.predictor.registry import (
+    DEFAULT_PREDICTOR,
+    PREDICTORS,
+    Predictor,
+    build_predictor,
+    predictor_by_name,
+    predictor_names,
+    register_predictor,
+)
+
+ALL = predictor_names()
+N = 6
+DT = 0.01
+
+common = settings(deadline=None, max_examples=20)
+
+
+def _trajectory(rng: np.random.Generator, steps: int):
+    """Random bounded (u, v) pairs — an arbitrary observed history."""
+    return [
+        (rng.normal(size=N), rng.normal(size=N))
+        for _ in range(steps)
+    ]
+
+
+# ---------------------------------------------------------- zoo contract
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=0, max_value=10),
+)
+def test_predictions_finite_and_shaped(name, seed, steps):
+    p = build_predictor(name, N, DT, s_min=2, s_max=4, n_regions=2)
+    for u, v in _trajectory(np.random.default_rng(seed), steps):
+        guess = p.predict()
+        assert guess.shape == (N,) and np.isfinite(guess).all()
+        p.observe(u, v)
+    final = p.predict()
+    assert final.shape == (N,) and np.isfinite(final).all()
+
+
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=0, max_value=10),
+)
+def test_prediction_deterministic_and_state_roundtrips(name, seed, steps):
+    """Same history -> bit-identical guess, directly and through the
+    ``state_dict`` JSON round-trip — the checkpoint/resume contract."""
+    import json
+
+    build = lambda: build_predictor(name, N, DT, s_min=2, s_max=4,
+                                    n_regions=2)
+    p, q = build(), build()
+    for u, v in _trajectory(np.random.default_rng(seed), steps):
+        p.predict(), q.predict()
+        p.observe(u, v), q.observe(u, v)
+    np.testing.assert_array_equal(p.predict(), q.predict())
+
+    r = build()
+
+    def jsonable(x):
+        if isinstance(x, np.ndarray):
+            return x.tolist()
+        if isinstance(x, dict):
+            return {k: jsonable(v) for k, v in x.items()}
+        if isinstance(x, (list, tuple)):
+            return [jsonable(v) for v in x]
+        return x
+
+    r.load_state_dict(json.loads(json.dumps(jsonable(p.state_dict()))))
+    np.testing.assert_array_equal(r.predict(), q.predict())
+
+
+@pytest.mark.parametrize("name", ALL)
+@common
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_observe_without_predict_tolerated(name, seed):
+    """Resume bootstraps observe before the first predict."""
+    p = build_predictor(name, N, DT, s_min=2, s_max=4, n_regions=2)
+    for u, v in _trajectory(np.random.default_rng(seed), 3):
+        p.observe(u, v)
+    guess = p.predict()
+    assert guess.shape == (N,) and np.isfinite(guess).all()
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_s_effective_is_none_or_bounded_int(name):
+    p = build_predictor(name, N, DT, s_min=2, s_max=4, n_regions=2)
+    rng = np.random.default_rng(0)
+    for u, v in _trajectory(rng, 12):
+        s = p.s_effective
+        assert s is None or (isinstance(s, int) and 0 <= s <= 4)
+        p.predict()
+        p.observe(u, v)
+    assert p.memory_bytes() >= 0
+
+
+# ---------------------------------------------------- exactness anchors
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=1, max_value=6),
+)
+def test_constant_exact_on_degree0(seed, steps):
+    u0 = np.random.default_rng(seed).normal(size=N)
+    p = predictor_by_name("constant")(N, DT)
+    for _ in range(steps):
+        p.observe(u0, np.zeros(N))
+    np.testing.assert_array_equal(p.predict(), u0)
+
+
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=2, max_value=8),
+)
+def test_linear_exact_on_degree1(seed, steps):
+    """Degree-1 displacement extrapolation is exact on trajectories
+    linear in time — *regardless* of the velocities (they are fed
+    garbage here; the linear rung must not read them)."""
+    rng = np.random.default_rng(seed)
+    a, b = rng.normal(size=N), rng.normal(size=N)
+    u = lambda k: a + k * b
+    p = predictor_by_name("linear")(N, DT)
+    for k in range(steps):
+        p.observe(u(k), rng.normal(size=N))
+    np.testing.assert_allclose(p.predict(), u(steps), rtol=1e-12, atol=1e-12)
+
+
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    degree=st.integers(min_value=0, max_value=4),
+)
+def test_adams_bashforth_exact_on_matching_polynomial(seed, degree):
+    """AB4 reproduces displacement trajectories polynomial in time of
+    degree <= 4 when fed the consistent velocities (v = u') — the
+    classical order condition, which also pins the coefficient table."""
+    rng = np.random.default_rng(seed)
+    coeffs = [rng.normal(size=N) for _ in range(degree + 1)]
+    u = lambda t: sum(c * t**k for k, c in enumerate(coeffs))
+    v = lambda t: sum(
+        k * c * t ** (k - 1) for k, c in enumerate(coeffs) if k >= 1
+    ) + np.zeros(N)
+    p = AdamsBashforth(N, DT)
+    for k in range(1, 6):  # 5 observes -> full 4-deep history
+        p.observe(u(k * DT), v(k * DT))
+    scale = max(1.0, float(np.abs(u(6 * DT)).max()))
+    np.testing.assert_allclose(
+        p.predict(), u(6 * DT), rtol=1e-8, atol=1e-10 * scale
+    )
+
+
+# --------------------------------------------------------------- aitken
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=1, max_value=15),
+    omega_min=st.floats(min_value=0.05, max_value=0.5),
+    omega_max=st.floats(min_value=1.0, max_value=3.0),
+    amp=st.floats(min_value=1e-12, max_value=1e6),
+)
+def test_aitken_omega_stays_clamped(seed, steps, omega_min, omega_max, amp):
+    """The dynamic relaxation factor never leaves its clamp, whatever
+    the residual sequence (including degenerate repeated residuals)."""
+    p = AitkenPredictor(N, DT, omega_init=1.0,
+                        omega_min=omega_min, omega_max=omega_max)
+    rng = np.random.default_rng(seed)
+    for i in range(steps):
+        p.predict()
+        if i % 3 == 2:  # exercise the zero-denominator guard too
+            p.observe(np.zeros(N), np.zeros(N))
+        else:
+            p.observe(amp * rng.normal(size=N), rng.normal(size=N))
+        assert omega_min <= p.omega <= omega_max
+        assert np.isfinite(p.omega)
+
+
+def test_aitken_validates_clamp():
+    with pytest.raises(ValueError, match="omega"):
+        AitkenPredictor(N, DT, omega_init=0.05)  # below omega_min
+    with pytest.raises(ValueError, match="omega"):
+        AitkenPredictor(N, DT, omega_min=0.5, omega_max=0.1)
+
+
+def test_aitken_warmup_is_plain_ab():
+    """Until the first omega update, omega_init=1 reproduces the raw
+    Adams-Bashforth guess exactly."""
+    rng = np.random.default_rng(3)
+    p, ab = AitkenPredictor(N, DT), AdamsBashforth(N, DT)
+    for _ in range(2):
+        u, v = rng.normal(size=N), rng.normal(size=N)
+        g_a, g_b = p.predict(), ab.predict()
+        np.testing.assert_array_equal(g_a, g_b)
+        p.observe(u, v), ab.observe(u, v)
+
+
+# -------------------------------------------------------------- iqn-ils
+@common
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=0, max_value=20),
+    window=st.integers(min_value=1, max_value=6),
+)
+def test_iqn_window_bounded(seed, steps, window):
+    """The secant window (and its memory) never exceeds the build-time
+    bound however long the run."""
+    p = IQNILSPredictor(N, DT, window=window)
+    rng = np.random.default_rng(seed)
+    for u, v in _trajectory(rng, steps):
+        p.predict()
+        p.observe(u, v)
+        assert 0 <= p.s_effective <= window
+    assert p.memory_bytes() <= 8 * N * (window + 2) + p.ab.memory_bytes()
+
+
+@common
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_iqn_filter_survives_dependent_secants(seed):
+    """Repeating the same converged state makes every secant column
+    (near-)identical; the QR filter must keep the guess finite instead
+    of letting the least-squares coefficients explode."""
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=N)
+    p = IQNILSPredictor(N, DT, window=4)
+    for _ in range(8):
+        p.predict()
+        p.observe(u, np.zeros(N))
+    assert np.isfinite(p.predict()).all()
+
+
+def test_iqn_has_no_set_s():
+    """The adaptive controller must leave the fixed window alone."""
+    assert not hasattr(IQNILSPredictor(N, DT), "set_s")
+
+
+# ------------------------------------------------------------- registry
+def test_registry_roundtrip_and_metadata():
+    assert ALL == tuple(sorted(PREDICTORS))
+    for name in ALL:
+        cls = predictor_by_name(name)
+        assert cls.name == name
+        assert cls.description  # repro predictors has something to say
+        assert issubclass(cls, Predictor)
+        p = build_predictor(name, N, DT)
+        assert isinstance(p, cls)
+
+
+def test_expected_zoo_registered():
+    assert {"constant", "linear", "adams-bashforth", "data-driven",
+            "aitken", "iqn-ils"} <= set(ALL)
+
+
+@given(name=st.text(min_size=1, max_size=20))
+@settings(deadline=None, max_examples=30)
+def test_unknown_name_fails_loudly(name):
+    if name in PREDICTORS:
+        return
+    with pytest.raises(ValueError, match="unknown predictor"):
+        predictor_by_name(name)
+    with pytest.raises(ValueError, match="unknown predictor"):
+        build_predictor(name, N, DT)
+
+
+def test_auto_sentinel_not_registered():
+    assert DEFAULT_PREDICTOR == "auto"
+    assert DEFAULT_PREDICTOR not in PREDICTORS
+    with pytest.raises(ValueError, match="unknown predictor"):
+        predictor_by_name(DEFAULT_PREDICTOR)
+
+    class Impostor(Predictor):
+        name = "auto"
+        predict = observe = state_dict = load_state_dict = None
+
+    with pytest.raises(ValueError, match="reserved"):
+        register_predictor(Impostor)
+
+
+def test_conflicting_registration_rejected():
+    class Rogue(Predictor):
+        name = "aitken"
+        predict = observe = state_dict = load_state_dict = None
+
+    with pytest.raises(ValueError, match="already registered"):
+        register_predictor(Rogue)
+    # idempotent for the same class (module reloads)
+    assert register_predictor(AitkenPredictor) is AitkenPredictor
+
+
+def test_unnamed_registration_rejected():
+    class Nameless(Predictor):
+        predict = observe = state_dict = load_state_dict = None
+
+    with pytest.raises(ValueError, match="no name"):
+        register_predictor(Nameless)

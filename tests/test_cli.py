@@ -407,3 +407,81 @@ def test_campaign_bad_backend_rejected(tmp_path):
         main(["campaign", "--models", "stratified", "--waves", "1",
               "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
               "--backend", "numpy,fortran", "--no-store"])
+
+
+# -------------------------------------------------------- predictors
+def test_predictors_command(capsys):
+    from repro.predictor.registry import predictor_names
+
+    assert main(["predictors"]) == 0
+    out = capsys.readouterr().out
+    assert "auto" in out and "paper-native" in out
+    for name in predictor_names():
+        assert name in out
+
+
+def test_run_command_predictor(capsys):
+    rc = main([
+        "run", "--model", "stratified", "--resolution", "2,2,1",
+        "--method", "ebe-mcg@cpu-gpu", "--cases", "2", "--steps", "4",
+        "--s-min", "2", "--s-max", "4", "--predictor", "aitken",
+    ])
+    assert rc == 0
+    assert "achieved_relres" in capsys.readouterr().out
+
+
+def test_run_command_bad_predictor_rejected():
+    with pytest.raises(SystemExit):  # argparse rejects unknown predictors
+        main(["run", "--model", "stratified", "--resolution", "2,2,1",
+              "--predictor", "broyden"])
+
+
+def test_campaign_predictor_axis(capsys, tmp_path):
+    store = tmp_path / "store"
+    args = [
+        "campaign", "--models", "stratified", "--waves", "1",
+        "--methods", "ebe-mcg@cpu-gpu", "--resolutions", "2,2,1",
+        "--cases", "2", "--steps", "3",
+        "--predictor", "auto,aitken,iqn-ils",
+        "--store", str(store),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "3 cells" in out
+    assert "predictors auto,aitken,iqn-ils" in out
+    assert "ebe-mcg@cpu-gpu@aitken" in out
+    assert "ebe-mcg@cpu-gpu@iqn-ils" in out
+    # identical grid re-run: all cache hits
+    assert main(args) == 0
+    assert "3 cache hits" in capsys.readouterr().out
+
+
+def test_campaign_bad_predictor_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="bad campaign grid"):
+        main(["campaign", "--models", "stratified", "--waves", "1",
+              "--methods", "crs-cg@gpu", "--resolutions", "2,2,1",
+              "--predictor", "auto,broyden", "--no-store"])
+
+
+def test_predictorzoo_command(capsys, tmp_path):
+    store = tmp_path / "store"
+    args = [
+        "predictorzoo", "--predictors", "adams-bashforth,aitken,data-driven",
+        "--scenarios", "impulse,aftershocks", "--resolutions", "2,2,1",
+        "--cases", "2", "--steps", "4", "--store", str(store),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "predictor zoo" in out
+    for col in ("iters/step", "inflation", "s_used"):
+        assert col in out
+    assert "aitken" in out and "data-driven" in out
+    assert "-" in out  # history-less rungs render s_used as dash
+    assert f"store -> {store}" in out
+
+
+def test_predictorzoo_bad_grid_rejected():
+    with pytest.raises(SystemExit, match="bad predictor study grid"):
+        main(["predictorzoo", "--predictors", "broyden"])
+    with pytest.raises(SystemExit, match="jobs"):
+        main(["predictorzoo", "--jobs", "0"])
