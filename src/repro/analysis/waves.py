@@ -17,7 +17,13 @@ import numpy as np
 from repro.fem.mesh import Tet10Mesh
 from repro.util.rng import make_rng
 
-__all__ = ["random_impulse_pattern", "ImpulseForce"]
+__all__ = [
+    "random_impulse_pattern",
+    "ImpulseForce",
+    "ricker",
+    "ricker_support_steps",
+    "BandlimitedImpulse",
+]
 
 
 def random_impulse_pattern(
@@ -69,6 +75,27 @@ class ImpulseForce:
             return self.pattern.copy()
         return np.zeros_like(self.pattern)
 
+    # -- SourceStream protocol (repro.workloads.sources) --
+    @property
+    def n_dofs(self) -> int:
+        return self.pattern.shape[0]
+
+    def window(self) -> tuple[int, int]:
+        return (self.impulse_step, self.impulse_step + 1)
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        if it == self.impulse_step:
+            np.copyto(out, self.pattern)
+        else:
+            out[:] = 0.0
+        return out
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        pass
+
     @classmethod
     def random(
         cls,
@@ -94,6 +121,34 @@ def ricker(t: np.ndarray | float, f0: float, t0: float) -> np.ndarray | float:
     return (1.0 - 2.0 * a) * np.exp(-a)
 
 
+#: Half-width of the Ricker wavelet's fp64 support in units of
+#: ``1/(pi f0)``: ``exp(-a)`` underflows to exactly 0.0 once
+#: ``a = (pi f0 (t - t0))^2 >= 746`` (|t - t0| ~ 27.32/(pi f0)), so 28
+#: is a conservative bound — beyond it the sampled wavelet is exactly
+#: (signed) zero, not merely small.
+_RICKER_SUPPORT = 28.0
+
+
+def ricker_support_steps(
+    f0: float, t0: float, dt: float, t0_max: float | None = None
+) -> tuple[int, int]:
+    """Half-open step window ``(start, stop)`` outside which a Ricker
+    source centered at ``t0`` (through ``t0_max`` for multi-onset
+    sources) evaluates to exactly +-0.0 in fp64.
+
+    Guaranteed by ``exp`` underflow, not by a tolerance: outside the
+    window, skipping the evaluation and writing zeros is bit-identical
+    to evaluating (up to the sign of zero, which is inert under
+    addition).
+    """
+    if t0_max is None:
+        t0_max = t0
+    half = _RICKER_SUPPORT / (np.pi * f0)
+    start = max(0, int(np.floor((t0 - half) / dt)))
+    stop = max(start, int(np.ceil((t0_max + half) / dt)) + 1)
+    return (start, stop)
+
+
 @dataclass
 class BandlimitedImpulse:
     """Random spatial pattern modulated by a Ricker source-time function.
@@ -112,6 +167,29 @@ class BandlimitedImpulse:
     def __call__(self, it: int) -> np.ndarray:
         w = float(ricker(it * self.dt, self.f0, self.t0))
         return self.pattern * w
+
+    # -- SourceStream protocol (repro.workloads.sources) --
+    @property
+    def n_dofs(self) -> int:
+        return self.pattern.shape[0]
+
+    def window(self) -> tuple[int, int]:
+        return ricker_support_steps(self.f0, self.t0, self.dt)
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        start, stop = self.window()
+        if start <= it < stop:
+            w = float(ricker(it * self.dt, self.f0, self.t0))
+            np.multiply(self.pattern, w, out=out)
+        else:
+            out[:] = 0.0
+        return out
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        pass
 
     @property
     def quiet_after_step(self) -> int:

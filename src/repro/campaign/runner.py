@@ -178,16 +178,22 @@ def run_method_cell(params: dict, ctx: dict | None = None) -> dict:
 
     ``ctx`` (supplied by the runner when a store is attached) enables
     crash-safe execution: every ``ctx["checkpoint_every"]`` steps the
-    solver state is flushed to ``ctx["checkpoint_path"]``, and with
-    ``ctx["resume"]`` a pending checkpoint restarts the run from its
-    saved step instead of step 0.  Checkpointed, resumed and
-    uninterrupted executions of the same cell are bit-identical.
+    incremental solver-state tail since the previous flush is appended
+    to the journal at ``ctx["checkpoint_path"]`` (O(1) bytes per step),
+    and with ``ctx["resume"]`` a pending checkpoint journal restarts
+    the run from its merged saved step instead of step 0.
+    Checkpointed, resumed and uninterrupted executions of the same
+    cell are bit-identical.
     """
+    import contextlib
+    import os
+
     from repro.core.methods import run_method
     from repro.hardware.specs import module_by_name
     from repro.io.results import (
+        append_campaign_checkpoint,
+        atomic_write_text,
         load_campaign_checkpoint,
-        save_campaign_checkpoint,
     )
     from repro.workloads.scenario import DEFAULT_SCENARIO, scenario_by_name
 
@@ -222,9 +228,21 @@ def run_method_cell(params: dict, ctx: dict | None = None) -> dict:
                         f"{ctx.get('key')!r}"
                     )
                 start_state = ck["state"]
+                if checkpoint_every > 0:
+                    # Compact the journal to its merged document so
+                    # later flushes append after a guaranteed-clean
+                    # final newline (the old journal may end in the
+                    # torn line the crash left behind).
+                    atomic_write_text(path, _json.dumps(ck) + "\n")
+        if start_state is None:
+            # Fresh start (no resume requested, or nothing readable to
+            # resume from): drop any stale journal so the appended tails
+            # below can never concatenate onto an abandoned run's lines.
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(path)
         if checkpoint_every > 0:
             def on_checkpoint(state_doc: dict) -> None:
-                save_campaign_checkpoint(
+                append_campaign_checkpoint(
                     {
                         "key": ctx["key"],
                         "kind": "method",

@@ -167,6 +167,15 @@ class WaveSpec:
 
     @classmethod
     def from_dict(cls, d: dict) -> "WaveSpec":
+        """Build from a dict, rejecting unknown keys loudly — a typoed
+        wave parameter must not silently vanish into a default (same
+        discipline as :func:`repro.workloads.scenario.wave_params`)."""
+        unknown = set(d) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown wave spec keys {sorted(unknown)}; known keys: "
+                f"{sorted(cls.__dataclass_fields__)}"
+            )
         return cls(**d)
 
 

@@ -3,9 +3,16 @@
 Layout under the store root::
 
     cells/<key>.json        one artifact per computed cell
-    checkpoints/<key>.json  mid-cell resume state (deleted on success)
+    checkpoints/<key>.json  mid-cell resume journal (deleted on success)
     locks/<key>.lock        per-key advisory lock files
     manifest.json           last-run bookkeeping (spec + cell statuses)
+
+Checkpoints are append-only JSONL journals of incremental flushes
+(:func:`repro.io.results.append_campaign_checkpoint`): each line holds
+only the records/waves tail since the previous flush, so long cells
+checkpoint in O(1) bytes per step.  :meth:`load_checkpoint` returns the
+merged, self-contained resume document; legacy single-document
+checkpoint files read as one-line journals.
 
 The key is the cell's parameter content hash
 (:func:`repro.campaign.spec.cell_key`), so identical cells — across
@@ -138,14 +145,15 @@ class ResultStore:
         return save_campaign_checkpoint(doc, self.checkpoint_path(cell.key))
 
     def load_checkpoint(self, key: str) -> dict | None:
-        """Load a cell's resume checkpoint.
+        """Load a cell's resume checkpoint (merged across the journal).
 
         Returns ``None`` when there is nothing (or nothing readable) to
         resume from — no checkpoint, or a syntactically unreadable
-        file, both of which mean "start from step 0".  A checkpoint
-        with the *wrong schema version or key* raises ``ValueError``:
-        that is a version/integrity problem that must fail loudly
-        rather than silently recompute.
+        file/torn final journal line, both of which mean "start from
+        step 0".  A checkpoint with the *wrong schema version or key*
+        (or a journal torn anywhere but its final line) raises
+        ``ValueError``: that is a version/integrity problem that must
+        fail loudly rather than silently recompute.
         """
         path = self.checkpoint_path(key)
         try:

@@ -33,6 +33,10 @@ Commands
     Sweep the initial-guess predictor zoo across scenarios (one
     campaign cell per scenario x resolution x predictor; iterations
     per step and earned history, anchored on data-driven).
+``endurance``
+    Profile a long streaming run through the bounded ring/spill logs:
+    throughput, short-vs-long memory peaks, checkpoint bytes per
+    flush, and the nightly pass/fail gates.
 """
 
 from __future__ import annotations
@@ -214,6 +218,33 @@ def build_parser() -> argparse.ArgumentParser:
     pz.add_argument("--store", default=None,
                     help="optional result store directory (content-hash "
                          "cache shared with `repro campaign`)")
+
+    end = sub.add_parser(
+        "endurance",
+        help="profile a long streaming run through the bounded logs",
+    )
+    end.add_argument("--scenario", default="aftershocks", choices=scenarios,
+                     help="source scenario of the profiled run")
+    _add_problem_args(end)
+    end.set_defaults(resolution="2,2,1")
+    end.add_argument("--steps", type=int, default=10_000,
+                     help="long-run length in time steps")
+    end.add_argument("--ref-steps", type=int, default=100,
+                     help="short reference run the memory gate compares "
+                          "against")
+    end.add_argument("--method", default="crs-cg@cpu",
+                     help="driver to profile (default: the CPU baseline)")
+    end.add_argument("--checkpoint-every", type=int, default=256,
+                     help="checkpoint flush cadence in steps")
+    end.add_argument("--keep", type=int, default=512,
+                     help="ring size of the record/wave logs "
+                          "(must exceed the checkpoint cadence)")
+    end.add_argument("--seed", type=int, default=0)
+    end.add_argument("--waves", action="store_true",
+                     help="also record waveforms through a spill log")
+    end.add_argument("--json", default=None, metavar="PATH",
+                     help="write the profile document (point + gates) "
+                          "to PATH")
     return p
 
 
@@ -560,6 +591,44 @@ def _cmd_predictorzoo(args) -> int:
     return 1 if n_failed else 0
 
 
+def _cmd_endurance(args) -> int:
+    import json as _json
+
+    from repro.studies.endurance import (
+        endurance_gates,
+        render_endurance_report,
+        run_endurance,
+    )
+
+    try:
+        point = run_endurance(
+            scenario=args.scenario,
+            model=args.model,
+            resolution=_resolution(args),
+            steps=args.steps,
+            ref_steps=args.ref_steps,
+            method=args.method,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+            keep=args.keep,
+            waves=args.waves,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad endurance run: {exc}") from exc
+    gates = endurance_gates(point)
+    print(render_endurance_report(point))
+    print("  gates           " + "  ".join(
+        f"{name}={'pass' if ok else 'FAIL'}" for name, ok in gates.items()
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(
+                {"point": point.to_dict(), "gates": gates}, fh, indent=2
+            )
+        print(f"profile -> {args.json}")
+    return 0 if all(gates.values()) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -573,6 +642,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "twogrid": _cmd_twogrid,
         "predictorzoo": _cmd_predictorzoo,
+        "endurance": _cmd_endurance,
     }
     return handlers[args.command](args)
 

@@ -234,6 +234,8 @@ class _BaselineDriver:
         predictor: str = "adams-bashforth",
         s_range: tuple[int, int] = (8, 32),
         n_regions: int = 16,
+        record_log=None,
+        wave_log=None,
     ) -> None:
         self.problem = problem
         self.module = module
@@ -242,9 +244,11 @@ class _BaselineDriver:
         self.precision = precision
         dev_spec = module.cpu if device == "cpu" else module.gpu
         self.model = DeviceModel(dev_spec)
-        self.tl = Timeline()
-        self.records: list[StepRecord] = []
-        self.waves: list[np.ndarray] = []
+        # single-lane schedule: the cpu/gpu overlap is identically
+        # zero, so skip the overlap queues (keeps long runs O(1))
+        self.tl = Timeline(track_overlap=False)
+        self.records = [] if record_log is None else record_log
+        self.waves = [] if wave_log is None else wave_log
         s_min, s_max = s_range
         self.sets = [
             CaseSet(
@@ -311,15 +315,48 @@ class _BaselineDriver:
                 )
 
     # -- checkpoint/resume --------------------------------------------
-    def state_dict(self) -> dict:
-        return {
+    def state_dict(self, since_step: int | None = None) -> dict:
+        """Snapshot; with ``since_step`` only the records/waves tail
+        after that step is embedded and ``tail_from`` marks the cut
+        (see :class:`~repro.core.pipeline.PipelineState`)."""
+        if since_step:
+            recs = (
+                self.records.tail(since_step)
+                if hasattr(self.records, "tail")
+                else [r for r in self.records if r.step > since_step]
+            )
+            n = len(recs)
+            if not len(self.waves):
+                waves = []
+            elif hasattr(self.waves, "last"):
+                waves = self.waves.last(n)
+            else:
+                waves = list(self.waves[-n:]) if n else []
+        else:
+            recs = list(self.records)
+            waves = (
+                self.waves.all()
+                if hasattr(self.waves, "all")
+                else list(self.waves)
+            )
+        doc = {
             "sets": [cs.state_dict() for cs in self.sets],
             "timeline": self.tl.state_dict(),
-            "records": [r.to_dict() for r in self.records],
-            "waves": list(self.waves),
+            "records": [r.to_dict() for r in recs],
+            "waves": waves,
         }
+        if since_step:
+            doc["tail_from"] = int(since_step)
+        return doc
 
     def load_state_dict(self, doc: dict) -> None:
+        if doc.get("tail_from"):
+            raise ValueError(
+                f"cannot resume from an incremental checkpoint tail "
+                f"(tail_from={doc['tail_from']}); merge the checkpoint "
+                "sequence with repro.io.results.merge_checkpoint_docs "
+                "first"
+            )
         if len(doc["sets"]) != len(self.sets):
             raise ValueError(
                 f"state has {len(doc['sets'])} cases, driver has "
@@ -328,8 +365,16 @@ class _BaselineDriver:
         for cs, d in zip(self.sets, doc["sets"]):
             cs.load_state_dict(d)
         self.tl.load_state_dict(doc["timeline"])
-        self.records = [StepRecord.from_dict(d) for d in doc["records"]]
-        self.waves = [np.asarray(w, dtype=float) for w in doc["waves"]]
+        recs = [StepRecord.from_dict(d) for d in doc["records"]]
+        if hasattr(self.records, "replace"):
+            self.records.replace(recs)
+        else:
+            self.records = recs
+        waves = [np.asarray(w, dtype=float) for w in doc["waves"]]
+        if hasattr(self.waves, "replace"):
+            self.waves.replace(waves)
+        else:
+            self.waves = waves
 
     def result(self) -> RunResult:
         n_cases = len(self.sets)
@@ -354,7 +399,11 @@ class _BaselineDriver:
             gpu_memory_bytes=gpu_mem,
             power=power,
             final_states=[cs.states[0] for cs in self.sets],
-            waveforms=np.stack(self.waves, axis=1) if self.waves else None,
+            waveforms=(
+                np.stack(list(self.waves), axis=1)
+                if isinstance(self.waves, list) and self.waves
+                else None
+            ),
         )
 
 
@@ -368,8 +417,8 @@ class _PipelineDriver:
     def run(self, nt: int) -> None:
         self.pipe.run(nt)
 
-    def state_dict(self) -> dict:
-        return self.pipe.save_state().to_dict()
+    def state_dict(self, since_step: int | None = None) -> dict:
+        return self.pipe.save_state(since_step).to_dict()
 
     def load_state_dict(self, doc: dict) -> None:
         self.pipe.load_state(doc)
@@ -441,14 +490,23 @@ def _run_chunks(
     numerically invisible: ``run(k); run(nt-k)`` is bit-identical to
     ``run(nt)`` (the PR-2 resume contract both drivers honor).
     ``predictor`` is the resolved predictor name when it differs from
-    the method-native one, else ``None``."""
+    the method-native one, else ``None``.
+
+    Flushed state documents are *incremental*: each embeds only the
+    records/waves produced since the previous flush (the first flush of
+    a fresh run is a full snapshot, keeping its bytes legacy-shaped),
+    so checkpoint I/O is O(1) per step instead of O(done).  Resume
+    accepts a full document — merge a flush sequence with
+    :func:`repro.io.results.merge_checkpoint_docs`."""
     done = 0
+    flushed = 0
     if start_state is not None:
         done = _check_state_header(
             start_state, method=method, nparts=nparts, precision=precision,
             nt=nt, precond=precond, predictor=predictor,
         )
         driver.load_state_dict(start_state["state"])
+        flushed = done
     while done < nt:
         k = nt - done if checkpoint_every < 1 else min(checkpoint_every, nt - done)
         driver.run(k)
@@ -459,8 +517,9 @@ def _run_chunks(
                 "nparts": int(nparts),
                 "precision": precision.name,
                 "step": done,
-                "state": driver.state_dict(),
+                "state": driver.state_dict(since_step=flushed),
             }
+            flushed = done
             if precond != DEFAULT_PRECONDITIONER:
                 # only at non-default so pre-axis checkpoint documents
                 # stay byte-identical
@@ -500,6 +559,8 @@ def _run_heterogeneous(
     start_state: dict | None,
     checkpoint_every: int,
     on_checkpoint: Callable[[dict], None] | None,
+    record_log=None,
+    wave_log=None,
 ) -> RunResult:
     """Algorithms 3 (ebe) / 4 (crs): two sets, CPU/GPU overlapped.
 
@@ -580,6 +641,8 @@ def _run_heterogeneous(
         c2c=TransferModel.c2c(module),
         controller=AdaptiveSController(s_min=s_min, s_max=s_max),
         waveform_dofs=waveform_dofs,
+        records=[] if record_log is None else record_log,
+        _waves=[] if wave_log is None else wave_log,
     )
     method = "ebe-mcg@cpu-gpu" if op_kind == "ebe" else "crs-cg@cpu-gpu"
     _run_chunks(
@@ -605,7 +668,7 @@ def _run_heterogeneous(
         gpu_memory_bytes=gpu_mem,
         power=power,
         final_states=[*pipe.set_a.states, *pipe.set_b.states],
-        waveforms=pipe.waveforms(),
+        waveforms=None if wave_log is not None else pipe.waveforms(),
     )
 
 
@@ -629,6 +692,8 @@ def run_method(
     start_state: dict | None = None,
     checkpoint_every: int = 0,
     on_checkpoint: Callable[[dict], None] | None = None,
+    record_log=None,
+    wave_log=None,
 ) -> RunResult:
     """Run one of the paper's four methods for ``nt`` time steps.
 
@@ -698,7 +763,20 @@ def run_method(
         bit-identical to a straight ``nt``-step run.
     on_checkpoint : callback receiving each intermediate state
         document (JSON-able; persist with
-        :func:`repro.io.results.save_pipeline_state`).
+        :func:`repro.io.results.save_pipeline_state`).  Documents after
+        the first embed only the records/waves tail since the previous
+        flush (``state["tail_from"]``) — O(1) bytes per step; merge a
+        sequence with :func:`repro.io.results.merge_checkpoint_docs`
+        before resuming.
+    record_log : optional :class:`repro.io.spill.RecordLog` replacing
+        the in-memory per-step record list — endurance runs keep memory
+        flat by ring-buffering recent records and spilling the rest to
+        disk.  ``RunResult.records`` is then the log (iterable, same
+        summaries).
+    wave_log : optional :class:`repro.io.spill.WaveLog` replacing the
+        in-memory waveform frame list (requires ``waveform_dofs``).
+        ``RunResult.waveforms`` is ``None`` — the caller owns the log
+        (``wave_log.stacked()`` reassembles the cube when spilling).
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -734,7 +812,7 @@ def run_method(
         driver = _BaselineDriver(
             problem, forces, module, device, eps, waveform_dofs, prec, bk,
             precond=precond, predictor=resolved, s_range=s_range,
-            n_regions=n_regions,
+            n_regions=n_regions, record_log=record_log, wave_log=wave_log,
         )
         _run_chunks(
             driver,
@@ -749,4 +827,5 @@ def run_method(
         problem, forces, nt, module, op_kind, eps, s_range, n_regions,
         cpu_threads, waveform_dofs, nparts, prec, bk, precond,
         resolved, header_pred, start_state, checkpoint_every, on_checkpoint,
+        record_log, wave_log,
     )

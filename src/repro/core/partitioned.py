@@ -6,8 +6,11 @@ point-to-point inside every CG iteration.  :class:`PartitionedCaseSet`
 is a drop-in :class:`~repro.core.pipeline.CaseSet` whose solver is
 :func:`~repro.sparse.distributed.distributed_pcg` over a
 :class:`~repro.cluster.halo.DistributedEBE`: the Newmark loop, the
-predictors and the RHS build are untouched — exactly the CoCoNuT-style
-separation of the coupling loop from the per-solver execution.
+predictors, the RHS build and the per-step source-force cache
+(:meth:`~repro.core.pipeline.CaseSet.forces_at` — one evaluation per
+(case, step), shared by predictor and solver) are untouched — exactly
+the CoCoNuT-style separation of the coupling loop from the per-solver
+execution.
 
 Cost model
 ----------

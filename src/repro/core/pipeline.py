@@ -73,6 +73,10 @@ class CaseSet:
     precond: str = DEFAULT_PRECONDITIONER
     states: list[NewmarkState] = field(default_factory=list)
     _pcg_ws: PCGWorkspace = field(default_factory=PCGWorkspace, repr=False)
+    # per-step force cache: row k of ``_F_T`` is case k's forcing for
+    # step ``_F_step``, shared by predict (f_next) and solve (RHS)
+    _F_T: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _F_step: int | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.forces) != len(self.predictors):
@@ -87,6 +91,11 @@ class CaseSet:
         self.backend = as_backend(self.backend)
         if not self.states:
             self.states = [self.problem.zero_state() for _ in self.forces]
+        # late import: repro.workloads pulls in the scenario registry,
+        # which builds on core.problem but not on this module
+        from repro.workloads.sources import as_source
+
+        self.forces = [as_source(f) for f in self.forces]
 
     @property
     def r(self) -> int:
@@ -129,14 +138,37 @@ class CaseSet:
         (0 for the fused single-address-space set)."""
         return 0.0
 
+    def forces_at(self, it: int) -> np.ndarray:
+        """The ``(r, n_dofs)`` forcing for step ``it``, evaluated into a
+        reused buffer **at most once per step**: the pipeline always
+        predicts a step before solving it, so predict fills the cache
+        and solve reuses it.  Evaluation happens outside the kernel
+        tally scopes — forcing is input data, not modeled device work —
+        and sources with declared quiet windows make silent steps a
+        memset."""
+        if self._F_step != it:
+            if self._F_T is None or self._F_T.shape != (
+                self.r,
+                self.problem.n_dofs,
+            ):
+                self._F_T = np.empty((self.r, self.problem.n_dofs))
+            for k, f in enumerate(self.forces):
+                f.evaluate(it, self._F_T[k])
+            self._F_step = it
+        return self._F_T
+
     def predict(self, it: int) -> tuple[np.ndarray, KernelTally]:
         """All cases' initial guesses for step ``it``, and the
         predictor work tally.  The upcoming force (known in advance —
         the paper's Eq. 3 input ``f_it``) is passed to force-aware
         predictors."""
+        F_T = self.forces_at(it)
         with tally_scope() as t:
             guesses = np.column_stack(
-                [p.predict(f_next=f(it)) for p, f in zip(self.predictors, self.forces)]
+                [
+                    p.predict(f_next=F_T[k])
+                    for k, p in enumerate(self.predictors)
+                ]
             )
         return guesses, t
 
@@ -145,12 +177,13 @@ class CaseSet:
         observation for time step ``it``; returns the solver work tally."""
         pb = self.problem
         nm = pb.newmark
+        F_T = self.forces_at(it)
         with tally_scope() as t:
             # fused effective RHS (Eq. 5 right side) for all cases
             U = np.column_stack([s.u for s in self.states])
             V = np.column_stack([s.v for s in self.states])
             Acc = np.column_stack([s.a for s in self.states])
-            F = np.column_stack([f(it) for f in self.forces])
+            F = F_T.T
             UM = nm.c_mass * U + (4.0 / pb.dt) * V + Acc
             UC = nm.c_damp * U + V
             B = F + pb.mass_operator(self.op_kind) @ UM
@@ -175,13 +208,20 @@ class CaseSet:
         kinematics and each predictor's history.  Operators, the
         preconditioner and the PCG workspace are rebuilt/reallocated —
         they are pure functions of the problem, not state."""
-        return {
+        doc = {
             "states": [
                 {"u": s.u, "v": s.v, "a": s.a, "step": int(s.step)}
                 for s in self.states
             ],
             "predictors": [p.state_dict() for p in self.predictors],
         }
+        # content addition: the built-in sources are stateless ({}), so
+        # the key appears only when a source actually carries state —
+        # existing snapshots stay byte-identical
+        src_states = [f.state_dict() for f in self.forces]
+        if any(src_states):
+            doc["sources"] = src_states
+        return doc
 
     def load_state_dict(self, doc: dict) -> None:
         """Restore a :meth:`state_dict` snapshot in place."""
@@ -200,6 +240,17 @@ class CaseSet:
         ]
         for p, d in zip(self.predictors, doc["predictors"]):
             p.load_state_dict(d)
+        if "sources" in doc:
+            if len(doc["sources"]) != self.r:
+                raise ValueError(
+                    f"state has {len(doc['sources'])} sources, set has "
+                    f"{self.r}"
+                )
+            for f, d in zip(self.forces, doc["sources"]):
+                f.load_state_dict(d)
+        # the cached step's forcing may belong to the abandoned future;
+        # deterministic sources recompute it bit-identically
+        self._F_step = None
 
 
 @dataclass
@@ -214,6 +265,12 @@ class PipelineState:
     continues *bit-identically* to one that never stopped.  All fields
     are JSON-able (arrays as nested float lists, which round-trip
     exactly); :mod:`repro.io.results` persists snapshots to disk.
+
+    ``tail_from`` marks an *incremental* snapshot: ``records``/``waves``
+    hold only the steps after that index (the live numeric state is
+    always complete).  Tails keep periodic checkpointing O(1) bytes per
+    step; :func:`repro.io.results.merge_checkpoint_docs` reassembles a
+    full snapshot from a contiguous run of them before resume.
     """
 
     step: int
@@ -225,9 +282,14 @@ class PipelineState:
     timeline: dict
     records: list
     waves: list
+    tail_from: int | None = None
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        doc = asdict(self)
+        if doc.get("tail_from") is None:
+            # content addition: full snapshots keep the legacy schema
+            del doc["tail_from"]
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "PipelineState":
@@ -393,19 +455,50 @@ class HeterogeneousPipeline:
 
     def waveforms(self) -> np.ndarray | None:
         """(ncases, nt, nrec) recorded displacements, if requested."""
-        if not self._waves:
+        if not len(self._waves):
             return None
+        if hasattr(self._waves, "stacked"):
+            return self._waves.stacked()
         return np.stack(self._waves, axis=1)
 
     # -- checkpoint/resume --------------------------------------------
-    def save_state(self) -> PipelineState:
+    def _records_tail(self, since_step: int) -> list[StepRecord]:
+        if hasattr(self.records, "tail"):
+            return self.records.tail(since_step)
+        return [r for r in self.records if r.step > since_step]
+
+    def _waves_tail(self, n: int) -> list:
+        if not len(self._waves):
+            return []
+        if hasattr(self._waves, "last"):
+            return self._waves.last(n)
+        return list(self._waves[-n:]) if n else []
+
+    def save_state(self, since_step: int | None = None) -> PipelineState:
         """Snapshot the pipeline between steps (i.e. between ``run``
         calls) for later :meth:`load_state`.  Resuming from the
         snapshot and finishing the remaining steps is bit-identical to
         an uninterrupted run — records, summaries, timeline and energy
-        numbers included."""
+        numbers included.
+
+        With ``since_step`` (> 0), the snapshot is an incremental tail:
+        records/waves cover only steps after ``since_step`` and
+        ``tail_from`` marks the cut, so a periodic checkpointer writes
+        O(1) bytes per step instead of re-serializing the whole
+        history.  ``since_step=None`` or ``0`` means a full snapshot.
+        """
+        if since_step:
+            recs = self._records_tail(since_step)
+            waves = self._waves_tail(len(recs))
+        else:
+            recs = list(self.records)
+            waves = (
+                self._waves.all()
+                if hasattr(self._waves, "all")
+                else list(self._waves)
+            )
         return PipelineState(
-            step=self.records[-1].step if self.records else 0,
+            step=self.records[-1].step if len(self.records) else 0,
             set_a=self.set_a.state_dict(),
             set_b=self.set_b.state_dict(),
             next_guesses_b=self._next_guesses_b,
@@ -417,8 +510,9 @@ class HeterogeneousPipeline:
                 else None
             ),
             timeline=self.timeline.state_dict(),
-            records=[r.to_dict() for r in self.records],
-            waves=list(self._waves),
+            records=[r.to_dict() for r in recs],
+            waves=waves,
+            tail_from=int(since_step) if since_step else None,
         )
 
     def load_state(self, state: PipelineState | dict) -> None:
@@ -426,6 +520,13 @@ class HeterogeneousPipeline:
         or its :meth:`PipelineState.to_dict`/JSON-loaded dict form)."""
         if isinstance(state, dict):
             state = PipelineState.from_dict(state)
+        if state.tail_from:
+            raise ValueError(
+                f"cannot resume from an incremental checkpoint tail "
+                f"(tail_from={state.tail_from}); merge the checkpoint "
+                "sequence with repro.io.results.merge_checkpoint_docs "
+                "first"
+            )
         self.set_a.load_state_dict(state.set_a)
         self.set_b.load_state_dict(state.set_b)
         self._next_guesses_b = (
@@ -446,9 +547,17 @@ class HeterogeneousPipeline:
                 )
             self.controller.load_state_dict(state.controller)
         self.timeline.load_state_dict(state.timeline)
-        self.records = [StepRecord.from_dict(d) for d in state.records]
-        if state.step != (self.records[-1].step if self.records else 0):
+        recs = [StepRecord.from_dict(d) for d in state.records]
+        if hasattr(self.records, "replace"):
+            self.records.replace(recs)
+        else:
+            self.records = recs
+        if state.step != (recs[-1].step if recs else 0):
             raise ValueError(
                 f"state step {state.step} does not match its records"
             )
-        self._waves = [np.asarray(w, dtype=float) for w in state.waves]
+        waves = [np.asarray(w, dtype=float) for w in state.waves]
+        if hasattr(self._waves, "replace"):
+            self._waves.replace(waves)
+        else:
+            self._waves = waves

@@ -77,21 +77,10 @@ def energy_of_timeline(tl: Timeline, pm: PowerModel) -> dict[str, float]:
                 "cpu_power": 0.0, "makespan": 0.0}
     cpu_busy = tl.busy_time("cpu")
     gpu_busy = tl.busy_time("gpu")
-    # Exact CPU-busy / GPU-busy overlap from the interval lists (each
-    # lane's intervals are disjoint by construction).
-    cpu_iv = sorted((iv.start, iv.end) for iv in tl.intervals if iv.resource == "cpu")
-    gpu_iv = sorted((iv.start, iv.end) for iv in tl.intervals if iv.resource == "gpu")
-    overlap = 0.0
-    i = j = 0
-    while i < len(cpu_iv) and j < len(gpu_iv):
-        s = max(cpu_iv[i][0], gpu_iv[j][0])
-        e = min(cpu_iv[i][1], gpu_iv[j][1])
-        if e > s:
-            overlap += e - s
-        if cpu_iv[i][1] <= gpu_iv[j][1]:
-            i += 1
-        else:
-            j += 1
+    # Exact CPU-busy / GPU-busy overlap, accumulated by the timeline's
+    # streaming two-pointer sweep (each lane's intervals are disjoint
+    # and time-ordered by construction).
+    overlap = tl.cpu_gpu_overlap()
     gpu_power_concurrent = pm.gpu_power_under_cap(cpu_concurrent=True)
     gpu_power_alone = pm.gpu_power_under_cap(cpu_concurrent=False)
     gpu_busy_conc = min(overlap, gpu_busy)

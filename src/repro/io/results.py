@@ -42,7 +42,9 @@ __all__ = [
     "save_pipeline_state",
     "load_pipeline_state",
     "save_campaign_checkpoint",
+    "append_campaign_checkpoint",
     "load_campaign_checkpoint",
+    "merge_checkpoint_docs",
 ]
 
 _SCHEMA_VERSION = 1
@@ -176,22 +178,135 @@ def save_campaign_checkpoint(
     return atomic_write_text(path, json.dumps(out))
 
 
-def load_campaign_checkpoint(path: str | pathlib.Path) -> dict:
-    """Read one campaign checkpoint.
+def append_campaign_checkpoint(
+    doc: dict, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Append one checkpoint flush to a per-cell checkpoint *journal*.
 
-    Raises ``ValueError`` on a schema-version mismatch — resuming
-    from a checkpoint written by an incompatible version must fail
-    loudly.  (A syntactically unreadable file raises
-    ``json.JSONDecodeError``, which callers may treat as "no
-    checkpoint" since checkpoints are disposable.)
+    The journal is line-delimited JSON, written with a single
+    ``O_APPEND`` write per flush: each line is one complete checkpoint
+    document (same schema :func:`save_campaign_checkpoint` stamps),
+    whose embedded driver state is the incremental records/waves tail
+    since the previous line.  A crash mid-append can only tear the
+    *last* line, which :func:`load_campaign_checkpoint` discards —
+    every earlier flush stays intact, and total checkpoint I/O is O(1)
+    per step instead of O(n²/k).
     """
-    doc = json.loads(pathlib.Path(path).read_text())
-    if doc.get("schema") != _CHECKPOINT_SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported campaign checkpoint schema {doc.get('schema')!r} "
-            f"(expected {_CHECKPOINT_SCHEMA_VERSION})"
-        )
-    return doc
+    for required in ("key", "kind", "params", "step", "state"):
+        if required not in doc:
+            raise ValueError(f"campaign checkpoint doc missing {required!r}")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps({**_jsonable(doc), "schema": _CHECKPOINT_SCHEMA_VERSION})
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (line + "\n").encode())
+    finally:
+        os.close(fd)
+    return path
+
+
+def merge_checkpoint_docs(docs) -> dict:
+    """Merge an ordered sequence of method-level checkpoint documents
+    (the dicts ``run_method`` hands to ``on_checkpoint``) into one
+    self-contained document resumable via ``start_state``.
+
+    The first document must be a full snapshot; each later one must be
+    the incremental tail continuing exactly where its predecessor
+    stopped (``state["tail_from"] == previous step``) — gaps or
+    reordered flushes raise, since a silently mis-stitched history
+    would corrupt summaries.  The merged document is the last one with
+    the concatenated records/waves and no ``tail_from`` mark.
+    """
+    docs = list(docs)
+    if not docs:
+        raise ValueError("no checkpoint documents to merge")
+    head = {
+        k: docs[0].get(k) for k in ("method", "nparts", "precision")
+    }
+    records: list = []
+    waves: list = []
+    prev_step = None
+    for doc in docs:
+        for k, want in head.items():
+            if doc.get(k) != want:
+                raise ValueError(
+                    f"checkpoint {k} changed mid-journal: "
+                    f"{doc.get(k)!r} != {want!r}"
+                )
+        state = doc["state"]
+        tail_from = int(state.get("tail_from") or 0)
+        if prev_step is None:
+            if tail_from:
+                raise ValueError(
+                    f"first checkpoint is a tail from step {tail_from}; "
+                    "the journal's full head document is missing"
+                )
+        elif tail_from != prev_step:
+            raise ValueError(
+                f"checkpoint gap: tail from step {tail_from} follows "
+                f"step {prev_step}"
+            )
+        records.extend(state.get("records", []))
+        waves.extend(state.get("waves", []))
+        prev_step = int(doc["step"])
+    merged = dict(docs[-1])
+    state = dict(docs[-1]["state"])
+    state["records"] = records
+    state["waves"] = waves
+    state.pop("tail_from", None)
+    merged["state"] = state
+    return merged
+
+
+def load_campaign_checkpoint(path: str | pathlib.Path) -> dict:
+    """Read one campaign checkpoint (journal or legacy single-doc file).
+
+    A file written by :func:`save_campaign_checkpoint` is read as a
+    one-line journal.  Multi-line journals
+    (:func:`append_campaign_checkpoint`) are merged into one
+    self-contained document — the latest ``step``, the full records —
+    via :func:`merge_checkpoint_docs`.
+
+    Raises ``ValueError`` on a schema-version mismatch or a torn line
+    *before* the journal end — resuming from a checkpoint written by an
+    incompatible version, or from a journal with holes, must fail
+    loudly.  A torn *final* line (the only tear an ``O_APPEND`` crash
+    can produce) is discarded; if nothing parseable remains the
+    ``json.JSONDecodeError`` propagates, which callers may treat as
+    "no checkpoint" since checkpoints are disposable.
+    """
+    text = pathlib.Path(path).read_text()
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    docs = []
+    for i, line in enumerate(lines):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                if not docs:
+                    raise
+                break
+            raise ValueError(
+                f"torn checkpoint journal line {i + 1} of {len(lines)} "
+                f"in {path}"
+            ) from None
+        if doc.get("schema") != _CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported campaign checkpoint schema "
+                f"{doc.get('schema')!r} (expected "
+                f"{_CHECKPOINT_SCHEMA_VERSION})"
+            )
+        docs.append(doc)
+    if len(docs) == 1:
+        return docs[0]
+    for k in ("key", "kind"):
+        if any(d.get(k) != docs[0].get(k) for d in docs):
+            raise ValueError(f"checkpoint journal mixes {k} values")
+    merged_method = merge_checkpoint_docs([d["state"] for d in docs])
+    merged = dict(docs[-1])
+    merged["state"] = merged_method
+    return merged
 
 
 def _jsonable(obj):

@@ -1,0 +1,241 @@
+"""Bounded ring/spill writers for endurance runs.
+
+A million-step run cannot keep a million :class:`StepRecord` objects
+and waveform frames in memory.  These writers keep the most recent
+``keep`` entries in a ring (everything the hot paths touch — the last
+record's step index, the incremental checkpoint tail) and stream older
+entries to an append-only file, so memory stays flat in run length
+while nothing is lost.
+
+* :class:`RecordLog` — JSONL spill of :class:`StepRecord` documents.
+  Duck-types the ``list`` surface the drivers and
+  :class:`~repro.core.results.RunResult` actually use: ``append``,
+  ``len``, iteration (disk then ring, in order), ``[-1]``.
+* :class:`WaveLog` — fixed-shape float64 binary spill of waveform
+  frames.  Without a path it is a pure ring: evicted frames are
+  *dropped* (documented lossy mode for runs that only need the
+  checkpoint tail and summary, not the full record section).
+
+Both expose ``tail``/``last`` views into the ring for incremental
+checkpoints and ``replace`` for bit-identical resume.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.results import StepRecord
+
+__all__ = ["RecordLog", "WaveLog"]
+
+
+class RecordLog:
+    """Ring + JSONL spill of per-step records.
+
+    The newest ``keep`` records stay in memory; an ``append`` beyond
+    that evicts the oldest to ``path`` (one JSON document per line).
+    Iteration replays the spill file and then the ring, so consumers
+    that walk all records (summaries, the analysis window) see the
+    complete, ordered history.
+    """
+
+    def __init__(self, path: str | pathlib.Path, keep: int = 256) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.path = pathlib.Path(path)
+        self.keep = int(keep)
+        self._ring: deque[StepRecord] = deque()
+        self._n_spilled = 0
+        self._fh = None
+
+    def _spill(self, rec: StepRecord) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(rec.to_dict()) + "\n")
+        self._n_spilled += 1
+
+    def append(self, rec: StepRecord) -> None:
+        self._ring.append(rec)
+        if len(self._ring) > self.keep:
+            self._spill(self._ring.popleft())
+
+    def __len__(self) -> int:
+        return self._n_spilled + len(self._ring)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, i: int) -> StepRecord:
+        n = len(self)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        if i >= self._n_spilled:
+            return self._ring[i - self._n_spilled]
+        for j, rec in enumerate(self._iter_spilled()):
+            if j == i:
+                return rec
+        raise IndexError(i)
+
+    def _iter_spilled(self) -> Iterator[StepRecord]:
+        if self._n_spilled == 0:
+            return
+        if self._fh is not None:
+            self._fh.flush()
+        with open(self.path) as fh:
+            for line in fh:
+                yield StepRecord.from_dict(json.loads(line))
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        yield from self._iter_spilled()
+        yield from list(self._ring)
+
+    def tail(self, since_step: int) -> list[StepRecord]:
+        """Records with ``step > since_step``, in order.  Served from
+        the ring when it reaches back far enough, else from a full
+        replay — checkpoint cadences shorter than ``keep`` never touch
+        the disk."""
+        out = [r for r in self._ring if r.step > since_step]
+        ring_covers = not self._n_spilled or (
+            self._ring and self._ring[0].step <= since_step + 1
+        )
+        if not ring_covers:
+            out = [r for r in self if r.step > since_step]
+        return out
+
+    def replace(self, records: Iterable[StepRecord]) -> None:
+        """Reset the log to exactly ``records`` (resume path)."""
+        self.clear()
+        for r in records:
+            self.append(r)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._n_spilled = 0
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.path.exists():
+            self.path.unlink()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class WaveLog:
+    """Ring + raw-float64 spill of fixed-shape waveform frames.
+
+    Frames are the per-step ``(ncases, nrec)`` arrays the pipeline
+    records.  With a ``path``, evicted frames are appended to a flat
+    binary file and :meth:`stacked` reassembles the full
+    ``(ncases, nt, nrec)`` cube.  Without one, evictions are dropped
+    and only the newest ``keep`` frames (checkpoint tails) survive —
+    the memory-flat mode for runs whose record section is not needed.
+    """
+
+    def __init__(
+        self, path: str | pathlib.Path | None = None, keep: int = 256
+    ) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.path = pathlib.Path(path) if path is not None else None
+        self.keep = int(keep)
+        self._ring: deque[np.ndarray] = deque()
+        self._shape: tuple[int, ...] | None = None
+        self._n_spilled = 0
+        self._n_dropped = 0
+        self._fh = None
+
+    def append(self, frame: np.ndarray) -> None:
+        frame = np.asarray(frame, dtype=float)
+        if self._shape is None:
+            self._shape = frame.shape
+        elif frame.shape != self._shape:
+            raise ValueError(
+                f"frame shape {frame.shape} != first frame {self._shape}"
+            )
+        self._ring.append(frame)
+        if len(self._ring) > self.keep:
+            old = self._ring.popleft()
+            if self.path is None:
+                self._n_dropped += 1
+            else:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = open(self.path, "wb")
+                self._fh.write(np.ascontiguousarray(old).tobytes())
+                self._n_spilled += 1
+
+    def __len__(self) -> int:
+        return self._n_spilled + self._n_dropped + len(self._ring)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def last(self, n: int) -> list[np.ndarray]:
+        """The newest ``n`` frames (the incremental checkpoint tail).
+        Raises if the ring no longer holds them — size ``keep`` to
+        cover the checkpoint cadence."""
+        if n > len(self._ring):
+            raise ValueError(
+                f"wave ring holds {len(self._ring)} frames, {n} "
+                f"requested; increase keep beyond the checkpoint cadence"
+            )
+        return list(self._ring)[len(self._ring) - n :] if n else []
+
+    def _spilled_frames(self) -> list[np.ndarray]:
+        if not self._n_spilled:
+            return []
+        if self._fh is not None:
+            self._fh.flush()
+        flat = np.fromfile(self.path, dtype=np.float64)
+        return list(flat.reshape((self._n_spilled, *self._shape)))
+
+    def all(self) -> list[np.ndarray]:
+        """Every retained frame, in order.  Raises in lossy (no-path)
+        mode once frames have been dropped."""
+        if self._n_dropped:
+            raise ValueError(
+                f"{self._n_dropped} frames were dropped (ring-only "
+                "mode); give WaveLog a spill path to keep the full "
+                "record section"
+            )
+        return self._spilled_frames() + list(self._ring)
+
+    def stacked(self) -> np.ndarray | None:
+        """(ncases, nt, nrec) cube of all frames (None when empty)."""
+        frames = self.all()
+        if not frames:
+            return None
+        return np.stack(frames, axis=1)
+
+    def replace(self, frames: Iterable[np.ndarray]) -> None:
+        """Reset the log to exactly ``frames`` (resume path)."""
+        self.clear()
+        for f in frames:
+            self.append(np.asarray(f, dtype=float))
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._shape = None
+        self._n_spilled = 0
+        self._n_dropped = 0
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.path is not None and self.path.exists():
+            self.path.unlink()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

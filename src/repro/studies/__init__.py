@@ -25,6 +25,10 @@
   Adams-Bashforth, Aitken, IQN-ILS, data-driven), one campaign cell
   per scenario x predictor (iterations/step, earned history,
   inflation vs the data-driven anchor).
+* :mod:`~repro.studies.endurance` — memory- and I/O-flatness profile
+  of one long scenario run through the bounded ring/spill logs
+  (throughput, short-vs-long tracemalloc peaks, checkpoint bytes per
+  flush), with the pass/fail gates the nightly benchmark enforces.
 
 Both sweeps are also expressible as *campaigns* (see
 :mod:`repro.campaign`): ``ablation_cells`` / ``sensitivity_cells``
@@ -82,6 +86,12 @@ from repro.studies.predictors import (
     render_predictor_table,
     run_predictor_campaign,
 )
+from repro.studies.endurance import (
+    EndurancePoint,
+    endurance_gates,
+    render_endurance_report,
+    run_endurance,
+)
 
 __all__ = [
     "StepProfile",
@@ -120,4 +130,8 @@ __all__ = [
     "run_predictor_campaign",
     "predictor_table",
     "render_predictor_table",
+    "EndurancePoint",
+    "run_endurance",
+    "endurance_gates",
+    "render_endurance_report",
 ]

@@ -8,11 +8,32 @@ a :class:`Timeline`, work is appended with modeled durations, and lane
 cursors advance independently.  Synchronization points align lanes, so
 the resulting makespan is exactly what a real two-process schedule
 would yield under the model.
+
+The timeline is a *streaming aggregator*: it does not retain the
+interval list (a million-step run would hold millions of them) but
+folds every scheduled interval into per-lane busy totals, per-label
+busy/count maps, the running makespan and the exact cpu/gpu overlap
+the power model integrates.  All aggregates are accumulated in append
+order — which, per lane, is also time order, since cursors are
+monotone — so they are bit-identical to what the retained-list
+implementation computed, and legacy ``{"intervals": ...}`` snapshots
+are restored by replaying them through the same fold.
+
+The overlap fold is the classic two-pointer sweep over the cpu and gpu
+lanes, run incrementally: head intervals of the two pending queues are
+compared exactly as the offline sweep compares them, and an interval
+is retired once the opposite lane has advanced past it.  After each
+drain at most one queue is non-empty, so pipeline schedules (which
+barrier both lanes every phase) keep O(1) state.  A schedule that
+only ever touches one of the two lanes accumulates that lane's queue —
+``track_overlap=False`` opts such single-device baselines out (their
+cpu/gpu overlap is identically zero).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -29,15 +50,61 @@ class Interval:
         return self.end - self.start
 
 
-@dataclass
 class Timeline:
-    """Multi-lane schedule with per-resource cursors."""
+    """Multi-lane schedule with per-resource cursors (streaming)."""
 
-    intervals: list[Interval] = field(default_factory=list)
-    _cursors: dict[str, float] = field(default_factory=dict)
+    def __init__(self, track_overlap: bool = True) -> None:
+        self.track_overlap = bool(track_overlap)
+        self._reset()
+
+    def _reset(self) -> None:
+        self._cursors: dict[str, float] = {}
+        self._busy: dict[str, float] = {}
+        self._busy_label: dict[str, dict[str, float]] = {}
+        self._counts: dict[str, dict[str, int]] = {}
+        self._makespan = 0.0
+        self._overlap = 0.0
+        self._pend_cpu: deque[tuple[float, float]] = deque()
+        self._pend_gpu: deque[tuple[float, float]] = deque()
 
     def now(self, resource: str) -> float:
         return self._cursors.get(resource, 0.0)
+
+    def _ingest(self, resource: str, label: str, start: float, end: float) -> None:
+        """Fold one interval into the aggregates (cursors untouched —
+        ``schedule`` owns those; legacy-snapshot replay restores them
+        from the snapshot)."""
+        self._busy[resource] = self._busy.get(resource, 0.0) + (end - start)
+        by = self._busy_label.setdefault(resource, {})
+        by[label] = by.get(label, 0.0) + (end - start)
+        cnt = self._counts.setdefault(resource, {})
+        cnt[label] = cnt.get(label, 0) + 1
+        if end > self._makespan:
+            self._makespan = end
+        if self.track_overlap:
+            if resource == "cpu":
+                self._pend_cpu.append((start, end))
+                self._drain_overlap()
+            elif resource == "gpu":
+                self._pend_gpu.append((start, end))
+                self._drain_overlap()
+
+    def _drain_overlap(self) -> None:
+        """Advance the incremental cpu/gpu two-pointer sweep as far as
+        the pending queues allow — the same head comparisons, in the
+        same order, as the offline sweep over the full sorted lists."""
+        pc, pg = self._pend_cpu, self._pend_gpu
+        while pc and pg:
+            cs, ce = pc[0]
+            gs, ge = pg[0]
+            s = max(cs, gs)
+            e = min(ce, ge)
+            if e > s:
+                self._overlap += e - s
+            if ce <= ge:
+                pc.popleft()
+            else:
+                pg.popleft()
 
     def schedule(self, resource: str, label: str, duration: float,
                  not_before: float = 0.0) -> Interval:
@@ -50,7 +117,7 @@ class Timeline:
             raise ValueError(f"negative duration for {label!r}: {duration}")
         start = max(self._cursors.get(resource, 0.0), not_before)
         iv = Interval(resource, label, start, start + duration)
-        self.intervals.append(iv)
+        self._ingest(resource, label, iv.start, iv.end)
         self._cursors[resource] = iv.end
         return iv
 
@@ -67,50 +134,100 @@ class Timeline:
 
     @property
     def makespan(self) -> float:
-        return max((iv.end for iv in self.intervals), default=0.0)
+        return self._makespan
 
     def busy_time(self, resource: str) -> float:
         """Total occupied seconds on one lane (intervals never overlap
-        within a lane by construction)."""
-        return sum(iv.duration for iv in self.intervals if iv.resource == resource)
+        within a lane by construction).  An untouched lane returns the
+        integer ``0`` — the ``sum`` of no intervals — which golden
+        fixtures pin as distinct from ``0.0``."""
+        return self._busy.get(resource, 0)
 
     def busy_time_by_label(self, resource: str) -> dict[str, float]:
-        out: dict[str, float] = {}
-        for iv in self.intervals:
-            if iv.resource == resource:
-                out[iv.label] = out.get(iv.label, 0.0) + iv.duration
-        return out
+        return dict(self._busy_label.get(resource, {}))
+
+    def count(self, resource: str, label: str) -> int:
+        """How many intervals of ``label`` ran on ``resource``."""
+        return self._counts.get(resource, {}).get(label, 0)
 
     def utilization(self, resource: str) -> float:
         """Busy fraction of a lane over the full makespan."""
         m = self.makespan
         return self.busy_time(resource) / m if m > 0 else 0.0
 
+    def cpu_gpu_overlap(self) -> float:
+        """Exact seconds during which the cpu and gpu lanes were both
+        busy — the concurrency the power model charges at throttled
+        two-device power.  Includes any still-pending head intervals
+        without consuming them."""
+        if not self.track_overlap:
+            return 0.0
+        total = self._overlap
+        pc = list(self._pend_cpu)
+        pg = list(self._pend_gpu)
+        i = j = 0
+        while i < len(pc) and j < len(pg):
+            s = max(pc[i][0], pg[j][0])
+            e = min(pc[i][1], pg[j][1])
+            if e > s:
+                total += e - s
+            if pc[i][1] <= pg[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
     # -- checkpoint/resume --------------------------------------------
     def state_dict(self) -> dict:
-        """JSON-able snapshot of the full schedule.
+        """JSON-able snapshot of the aggregates — O(1) in run length.
 
-        The complete interval list is kept (not just per-lane busy
-        totals): the power model integrates the *exact* cpu/gpu
-        overlap from the intervals, so a resumed run can only
-        reproduce an uninterrupted run's energy numbers bit-for-bit if
-        the schedule itself survives the round trip.
+        The exact cpu/gpu overlap accumulator and the (bounded) pending
+        queues are included, so a resumed run reproduces an
+        uninterrupted run's energy numbers bit-for-bit without ever
+        retaining the schedule itself.
         """
         return {
-            "intervals": [
-                [iv.resource, iv.label, iv.start, iv.end]
-                for iv in self.intervals
-            ],
             "cursors": dict(self._cursors),
+            "busy": dict(self._busy),
+            "busy_label": {r: dict(d) for r, d in self._busy_label.items()},
+            "counts": {r: dict(d) for r, d in self._counts.items()},
+            "makespan": self._makespan,
+            "overlap": self._overlap,
+            "pend_cpu": [list(t) for t in self._pend_cpu],
+            "pend_gpu": [list(t) for t in self._pend_gpu],
         }
 
     def load_state_dict(self, doc: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot in place."""
-        self.intervals = [
-            Interval(str(res), str(label), float(start), float(end))
-            for res, label, start, end in doc["intervals"]
-        ]
+        """Restore a :meth:`state_dict` snapshot in place.  Legacy
+        snapshots that carry the full ``intervals`` list are replayed
+        through the streaming fold — same order, same aggregates, bit
+        for bit."""
+        self._reset()
+        if "intervals" in doc:
+            for res, label, start, end in doc["intervals"]:
+                self._ingest(str(res), str(label), float(start), float(end))
+            self._cursors = {
+                str(k): float(v) for k, v in doc["cursors"].items()
+            }
+            return
         self._cursors = {str(k): float(v) for k, v in doc["cursors"].items()}
+        self._busy = {str(k): float(v) for k, v in doc["busy"].items()}
+        self._busy_label = {
+            str(r): {str(k): float(v) for k, v in d.items()}
+            for r, d in doc["busy_label"].items()
+        }
+        self._counts = {
+            str(r): {str(k): int(v) for k, v in d.items()}
+            for r, d in doc["counts"].items()
+        }
+        self._makespan = float(doc["makespan"])
+        self._overlap = float(doc["overlap"])
+        self._pend_cpu = deque(
+            (float(s), float(e)) for s, e in doc["pend_cpu"]
+        )
+        self._pend_gpu = deque(
+            (float(s), float(e)) for s, e in doc["pend_gpu"]
+        )
 
     @classmethod
     def from_state(cls, doc: dict) -> "Timeline":
@@ -119,15 +236,32 @@ class Timeline:
         return tl
 
     def validate(self) -> None:
-        """Check the no-overlap invariant within every lane."""
-        by_res: dict[str, list[Interval]] = {}
-        for iv in self.intervals:
-            by_res.setdefault(iv.resource, []).append(iv)
-        for res, ivs in by_res.items():
-            ivs = sorted(ivs, key=lambda i: i.start)
-            for a, b in zip(ivs, ivs[1:]):
-                if b.start < a.end - 1e-12:
-                    raise AssertionError(
-                        f"overlap on lane {res!r}: {a.label}[{a.start},{a.end}] vs "
-                        f"{b.label}[{b.start},{b.end}]"
-                    )
+        """Check the aggregate invariants.
+
+        The per-lane no-overlap property is guaranteed by construction
+        (cursors are monotone), so without a retained interval list the
+        checkable invariants are consistency ones: label totals sum to
+        the lane total, busy time fits inside the lane cursor, and the
+        overlap never exceeds either lane's busy time.
+        """
+        tol = 1e-12
+        for res, total in self._busy.items():
+            if total < -tol:
+                raise AssertionError(f"negative busy time on {res!r}")
+            label_sum = sum(self._busy_label.get(res, {}).values())
+            if abs(label_sum - total) > tol * max(1.0, abs(total)):
+                raise AssertionError(
+                    f"label totals {label_sum} != lane total {total} on {res!r}"
+                )
+            if total > self._cursors.get(res, 0.0) + tol:
+                raise AssertionError(
+                    f"busy time {total} exceeds cursor on {res!r}"
+                )
+        overlap = self.cpu_gpu_overlap()
+        cap = min(
+            self._busy.get("cpu", 0.0), self._busy.get("gpu", 0.0)
+        )
+        if self.track_overlap and overlap > cap + tol:
+            raise AssertionError(
+                f"cpu/gpu overlap {overlap} exceeds lane busy minimum {cap}"
+            )

@@ -24,13 +24,23 @@ from repro.workloads.scenario import (
     scenario_names,
     wave_params,
 )
+from repro.workloads.sources import (
+    CallableSource,
+    ChainedSource,
+    QuiescentSource,
+    as_source,
+    is_source,
+    source_active,
+)
 from repro.workloads.library import (  # noqa: F401 - registers the library
     AftershockScenario,
     AftershockSequence,
+    ChainScenario,
     FaultRuptureScenario,
     KinematicRuptureForce,
     LayeredBasinModel,
     LayeredBasinScenario,
+    LongRecordScenario,
     SoftSoilScenario,
     layered_basin_model,
     soft_soil_model,
@@ -57,8 +67,16 @@ __all__ = [
     "FaultRuptureScenario",
     "SoftSoilScenario",
     "AftershockScenario",
+    "ChainScenario",
+    "LongRecordScenario",
     "KinematicRuptureForce",
     "AftershockSequence",
     "layered_basin_model",
     "soft_soil_model",
+    "CallableSource",
+    "ChainedSource",
+    "QuiescentSource",
+    "as_source",
+    "is_source",
+    "source_active",
 ]

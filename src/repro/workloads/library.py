@@ -37,11 +37,17 @@ from typing import Callable
 
 import numpy as np
 
-from repro.analysis.waves import random_impulse_pattern, ricker
+from repro.analysis.waves import (
+    BandlimitedImpulse,
+    random_impulse_pattern,
+    ricker,
+    ricker_support_steps,
+)
 from repro.fem.material import Material
 from repro.fem.mesh import Tet10Mesh
 from repro.workloads.ground import GroundModel
 from repro.workloads.scenario import ImpulseScenario, Scenario, register_scenario
+from repro.workloads.sources import ChainedSource, QuiescentSource
 
 __all__ = [
     "BASIN_FILL",
@@ -55,6 +61,8 @@ __all__ = [
     "FaultRuptureScenario",
     "SoftSoilScenario",
     "AftershockScenario",
+    "ChainScenario",
+    "LongRecordScenario",
 ]
 
 #: Very soft lacustrine/estuarine basin fill (San Francisco Bay mud,
@@ -157,6 +165,31 @@ class KinematicRuptureForce:
         np.add.at(f, self.dof.ravel(), (self.vectors * w[:, None]).ravel())
         return f
 
+    # -- SourceStream protocol (repro.workloads.sources) --
+    def window(self) -> tuple[int, int]:
+        return ricker_support_steps(
+            self.f0,
+            float(self.onsets.min()),
+            self.dt,
+            t0_max=float(self.onsets.max()),
+        )
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        out[:] = 0.0
+        start, stop = self.window()
+        if start <= it < stop:
+            w = ricker(it * self.dt, self.f0, self.onsets)
+            np.add.at(
+                out, self.dof.ravel(), (self.vectors * w[:, None]).ravel()
+            )
+        return out
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        pass
+
     @property
     def rupture_end(self) -> float:
         """Time after which every patch has finished radiating."""
@@ -245,6 +278,39 @@ class AftershockSequence:
     def __call__(self, it: int) -> np.ndarray:
         w = self.rel_amps * ricker(it * self.dt, self.f0, self.onsets)
         return self.patterns @ w
+
+    # -- SourceStream protocol (repro.workloads.sources) --
+    @property
+    def n_dofs(self) -> int:
+        return self.patterns.shape[0]
+
+    def window(self) -> tuple[int, int]:
+        return ricker_support_steps(
+            self.f0,
+            float(self.onsets.min()),
+            self.dt,
+            t0_max=float(self.onsets.max()),
+        )
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        start, stop = self.window()
+        if start <= it < stop:
+            # full superposition over events: inside the union window
+            # this must stay bit-identical to __call__, and a trimmed
+            # gemv over only-active columns is not (BLAS accumulation
+            # order changes).  Events far from ``it`` contribute exact
+            # zeros via the same underflow that bounds the window.
+            w = self.rel_amps * ricker(it * self.dt, self.f0, self.onsets)
+            np.matmul(self.patterns, w, out=out)
+        else:
+            out[:] = 0.0
+        return out
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        pass
 
     def quiet_windows(self) -> list[tuple[float, float]]:
         """Inter-event time windows where every source is negligible
@@ -376,4 +442,91 @@ class AftershockScenario(Scenario):
             amplitude=wave["amplitude"],
             f0=wave["f0_factor"] / (np.pi * problem.dt),
             cycles_to_onset=wave["cycles_to_onset"],
+        )
+
+
+#: Chain-scenario mainshock drive relative to the wave family's nominal
+#: amplitude, and its earlier onset (in units of ``cycles_to_onset``).
+#: A mainshock is the large event of its sequence; the offsets also keep
+#: the chain's numbers distinct from the plain impulse ensemble's.
+_MAINSHOCK_AMP = 1.5
+_MAINSHOCK_ONSET = 0.5
+
+#: Trailing silence appended to a chain, in source periods — the
+#: post-sequence stretch of record where every step is a pure memset.
+_CHAIN_QUIESCENCE_CYCLES = 12.0
+
+#: Long-record sequence shape: enough events and wide enough gaps
+#: (> 2x the Ricker support of ~8.9 periods) that the record contains
+#: genuinely dead inter-event stretches, hours-scale when extended.
+#: The delayed onset distinguishes the record's head from the plain
+#: impulse ensemble (whose mainshock it would otherwise reproduce
+#: draw-for-draw inside a short observation window).
+_LONG_RECORD_AFTERSHOCKS = 5
+_LONG_RECORD_QUIESCENCE_CYCLES = 18.0
+_LONG_RECORD_ONSET = 1.5
+
+
+@register_scenario
+class ChainScenario(Scenario):
+    """Mainshock → aftershocks → quiescence as one composed stream."""
+
+    name = "chain"
+    description = (
+        "scenario chain: a band-limited mainshock, then a relocated "
+        "aftershock sequence, then quiescence — composed end to end "
+        "on one step clock via ChainedSource"
+    )
+
+    def case_force(self, problem, wave, rng):
+        f0 = wave["f0_factor"] / (np.pi * problem.dt)
+        mainshock = BandlimitedImpulse.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"] * _MAINSHOCK_AMP,
+            f0=f0,
+            cycles_to_onset=wave["cycles_to_onset"] * _MAINSHOCK_ONSET,
+        )
+        aftershocks = AftershockSequence.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"],
+            f0=f0,
+            cycles_to_onset=wave["cycles_to_onset"],
+        )
+        quiet_steps = int(
+            np.ceil(_CHAIN_QUIESCENCE_CYCLES / (f0 * problem.dt))
+        )
+        return ChainedSource(
+            [
+                mainshock,
+                aftershocks,
+                QuiescentSource(problem.mesh.n_dofs, quiet_steps),
+            ]
+        )
+
+
+@register_scenario
+class LongRecordScenario(Scenario):
+    """Hours-scale strong-motion record: many events, dead gaps."""
+
+    name = "long-record"
+    description = (
+        "long-record endurance sequence: a mainshock and a long tail "
+        "of aftershocks separated by gaps wide enough that the source "
+        "is exactly silent between events"
+    )
+
+    def case_force(self, problem, wave, rng):
+        return AftershockSequence.random(
+            problem.mesh,
+            problem.dt,
+            rng=rng,
+            amplitude=wave["amplitude"],
+            f0=wave["f0_factor"] / (np.pi * problem.dt),
+            cycles_to_onset=wave["cycles_to_onset"] * _LONG_RECORD_ONSET,
+            n_aftershocks=_LONG_RECORD_AFTERSHOCKS,
+            quiescence_cycles=_LONG_RECORD_QUIESCENCE_CYCLES,
         )

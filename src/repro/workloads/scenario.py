@@ -96,12 +96,26 @@ def scenario_names() -> tuple[str, ...]:
     return ((DEFAULT_SCENARIO,) if DEFAULT_SCENARIO in SCENARIOS else ()) + tuple(rest)
 
 
+#: Wave-description keys scenarios understand.  ``name`` is the wave
+#: family's label (carried by campaign ``WaveSpec``s), the rest are
+#: physics.  Anything else is rejected loudly — a typo'd ``amplitudee``
+#: must not silently run default physics.
+WAVE_KEYS = frozenset({"name", "amplitude", "f0_factor", "cycles_to_onset"})
+
+
 def wave_params(wave) -> dict:
     """Normalize a wave description (a campaign ``WaveSpec`` or its
     params dict) to the plain dict scenarios consume — keeps this
-    module free of a campaign-layer import."""
+    module free of a campaign-layer import.  Unknown keys raise,
+    matching the registry discipline everywhere else."""
     if hasattr(wave, "to_dict"):
         wave = wave.to_dict()
+    unknown = set(wave) - WAVE_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown wave parameter(s) {sorted(unknown)}; "
+            f"known keys: {sorted(WAVE_KEYS)}"
+        )
     return {
         "amplitude": float(wave.get("amplitude", 1e6)),
         "f0_factor": float(wave.get("f0_factor", 0.3)),

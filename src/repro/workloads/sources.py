@@ -1,0 +1,220 @@
+"""Streaming source engine: the ``SourceStream`` protocol.
+
+Long (endurance) runs spend almost all of their steps in source
+silence — a mainshock rings down, aftershocks arrive and decay, and
+the remaining hours of record are free vibration.  The legacy forcing
+interface ``f(it) -> (n_dofs,)`` makes every one of those silent steps
+cost a fresh ``(n_dofs,)`` allocation and a full evaluation.  A
+*source stream* declares what the callable interface cannot:
+
+``evaluate(it, out)``
+    write step ``it``'s forcing into a caller-owned buffer (no
+    allocation on the hot path) and return it.  Outside the active
+    window this is a memset.
+``window()``
+    the half-open step interval ``(start, stop)`` outside which the
+    source is *exactly* zero in fp64 (``None`` = always potentially
+    active).  The built-in Ricker-driven sources derive their windows
+    from the guaranteed ``exp`` underflow of the wavelet (see
+    :func:`repro.analysis.waves.ricker_support_steps`), so windowing
+    is bit-invisible: inside the window the stream computes the same
+    arithmetic the legacy callable did, outside it the legacy values
+    underflowed to (signed) zero anyway.
+``state_dict()`` / ``load_state_dict()``
+    JSON-able state for checkpoints.  The built-in sources are pure
+    functions of step index and return ``{}``; stateful sources (e.g.
+    streaming sensor feeds) persist whatever they need.
+
+Plain callables keep working everywhere a stream is expected:
+:func:`as_source` wraps them in :class:`CallableSource`, which simply
+copies ``f(it)`` into the buffer and declares no window.
+
+:class:`ChainedSource` composes streams end to end (mainshock →
+aftershock sequence → quiescence): each part runs on its own local
+step clock, offset by the cumulative window length of its
+predecessors.  Parts therefore never overlap, which is what makes the
+composition exactly associative (asserted by the property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CallableSource",
+    "ChainedSource",
+    "QuiescentSource",
+    "as_source",
+    "is_source",
+    "source_active",
+]
+
+
+def is_source(f) -> bool:
+    """Does ``f`` implement the ``SourceStream`` protocol?"""
+    return callable(getattr(f, "evaluate", None)) and callable(
+        getattr(f, "window", None)
+    )
+
+
+def as_source(f):
+    """Return ``f`` if it already is a source stream, else wrap the
+    plain callable in a :class:`CallableSource` adapter."""
+    if is_source(f):
+        return f
+    if not callable(f):
+        raise TypeError(f"not a forcing callable: {f!r}")
+    return CallableSource(f)
+
+
+def source_active(src, it: int) -> bool:
+    """Whether a stream can be nonzero at step ``it``."""
+    w = src.window()
+    return w is None or w[0] <= it < w[1]
+
+
+class CallableSource:
+    """Back-compat adapter: any ``f(it) -> (n_dofs,)`` callable as a
+    source stream.  No window is declared (the callable's silence
+    structure is unknown), so every step evaluates ``f`` and copies
+    the result into the caller's buffer."""
+
+    def __init__(self, fn: Callable[[int], np.ndarray]) -> None:
+        self.fn = fn
+
+    def __call__(self, it: int) -> np.ndarray:
+        return self.fn(it)
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        np.copyto(out, self.fn(it))
+        return out
+
+    def window(self) -> tuple[int, int] | None:
+        return None
+
+    def state_dict(self) -> dict:
+        sd = getattr(self.fn, "state_dict", None)
+        return sd() if callable(sd) else {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        ld = getattr(self.fn, "load_state_dict", None)
+        if callable(ld):
+            ld(doc)
+        elif doc:
+            raise ValueError(
+                "state for a stateless callable source"
+            )
+
+
+class QuiescentSource:
+    """``duration`` steps of exact silence.
+
+    Its window is the *empty* interval ``(duration, duration)`` — it
+    is never active, but it occupies ``duration`` steps of a
+    :class:`ChainedSource`'s clock, which is how a chain expresses
+    "then nothing happens for a while" (or "then the record ends")."""
+
+    def __init__(self, n_dofs: int, duration: int) -> None:
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        self.n_dofs = int(n_dofs)
+        self.duration = int(duration)
+
+    def __call__(self, it: int) -> np.ndarray:
+        return np.zeros(self.n_dofs)
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        out[:] = 0.0
+        return out
+
+    def window(self) -> tuple[int, int]:
+        return (self.duration, self.duration)
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        pass
+
+
+class ChainedSource:
+    """Sources composed end to end on one step clock.
+
+    Part ``i`` starts when the declared window of part ``i - 1`` ends:
+    its local step clock is the global one minus the cumulative offset,
+    so a part behaves exactly as it would standalone, just later.  At
+    most one part is ever active (windows are disjoint by
+    construction), which makes composition associative: regrouping
+    parts into sub-chains changes neither offsets nor values.
+
+    Every part must declare a finite window — an unbounded part would
+    leave no well-defined start for its successor.
+    """
+
+    def __init__(self, parts: Sequence) -> None:
+        parts = [as_source(p) for p in parts]
+        if not parts:
+            raise ValueError("chain needs at least one part")
+        self.parts: list = []
+        self.offsets: list[int] = []
+        off = 0
+        for p in parts:
+            w = p.window()
+            if w is None:
+                raise ValueError(
+                    "chain parts must declare a finite active window "
+                    f"(got window=None from {type(p).__name__})"
+                )
+            if isinstance(p, ChainedSource):
+                # flatten: a chain of chains is the same source as the
+                # flat chain (offsets are cumulative either way)
+                for q, qoff in zip(p.parts, p.offsets):
+                    self.parts.append(q)
+                    self.offsets.append(off + qoff)
+                off += p.window()[1]
+            else:
+                self.parts.append(p)
+                self.offsets.append(off)
+                off += int(w[1])
+        self._stop = off
+
+    @property
+    def n_dofs(self) -> int:
+        for p in self.parts:
+            n = getattr(p, "n_dofs", None)
+            if n is not None:
+                return int(n)
+        raise AttributeError("no chain part declares n_dofs")
+
+    def __call__(self, it: int) -> np.ndarray:
+        return self.evaluate(it, np.empty(self.n_dofs))
+
+    def evaluate(self, it: int, out: np.ndarray) -> np.ndarray:
+        for p, off in zip(self.parts, self.offsets):
+            start, stop = p.window()
+            if off + start <= it < off + stop:
+                return p.evaluate(it - off, out)
+        out[:] = 0.0
+        return out
+
+    def window(self) -> tuple[int, int]:
+        start0, _ = self.parts[0].window()
+        return (self.offsets[0] + int(start0), self._stop)
+
+    def state_dict(self) -> dict:
+        states = [p.state_dict() for p in self.parts]
+        return {"parts": states} if any(states) else {}
+
+    def load_state_dict(self, doc: dict) -> None:
+        states = doc.get("parts") if doc else None
+        if not states:
+            return
+        if len(states) != len(self.parts):
+            raise ValueError(
+                f"chain state has {len(states)} parts, chain has "
+                f"{len(self.parts)}"
+            )
+        for p, d in zip(self.parts, states):
+            p.load_state_dict(d)

@@ -43,18 +43,21 @@ def spec():
     )
 
 
-def _kill_after_first_flush(monkeypatch):
-    """Make run_method die right after its first checkpoint flush —
-    the observable effect of a SIGKILL between two flushes (state on
-    disk, no artifact)."""
+def _kill_after_flush(monkeypatch, n_flushes: int = 1):
+    """Make run_method die right after its ``n_flushes``-th checkpoint
+    flush — the observable effect of a SIGKILL between two flushes
+    (state on disk, no artifact)."""
     real = methods_mod.run_method
 
     def killing(problem, forces, **kw):
         orig_cb = kw.get("on_checkpoint")
+        seen = {"n": 0}
 
         def cb(doc):
             orig_cb(doc)
-            raise RuntimeError("simulated kill")
+            seen["n"] += 1
+            if seen["n"] >= n_flushes:
+                raise RuntimeError("simulated kill")
 
         if orig_cb is not None:
             kw["on_checkpoint"] = cb
@@ -62,6 +65,10 @@ def _kill_after_first_flush(monkeypatch):
 
     monkeypatch.setattr(methods_mod, "run_method", killing)
     return real
+
+
+def _kill_after_first_flush(monkeypatch):
+    return _kill_after_flush(monkeypatch, 1)
 
 
 def test_interrupted_campaign_resumes_from_checkpoint(
@@ -125,6 +132,101 @@ def test_without_resume_interrupted_cell_restarts_from_zero(
     rep = CampaignRunner(store=store, jobs=1).run(spec)  # no resume flag
     assert rep.n_computed == 1
     assert seen["start_state"] is None  # from step 0, checkpoint ignored
+
+
+def test_multi_flush_journal_merges_on_resume(spec, tmp_path, monkeypatch):
+    """A cell killed after several flushes leaves a multi-line journal
+    of incremental tails; resume merges it and finishes bit-identical
+    to a never-crashed run — the O(1)-bytes-per-step checkpoint path
+    end to end."""
+    ref = CampaignRunner(store=ResultStore(tmp_path / "ref"), jobs=1).run(spec)
+    key = spec.cells()[0].key
+    store = ResultStore(tmp_path / "store")
+    real = _kill_after_flush(monkeypatch, 2)
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    lines = store.checkpoint_path(key).read_text().splitlines()
+    assert len(lines) == 2  # full head at step 2, tail at step 4
+    docs = [json.loads(ln) for ln in lines]
+    assert [d["step"] for d in docs] == [2, 4]
+    assert "tail_from" not in docs[0]["state"]["state"]
+    assert docs[1]["state"]["state"]["tail_from"] == 2
+    # only the tail since the previous flush rides in each later line
+    assert len(docs[1]["state"]["state"]["records"]) == 2
+
+    merged = store.load_checkpoint(key)
+    assert merged["step"] == 4
+    assert len(merged["state"]["state"]["records"]) == 4
+
+    monkeypatch.setattr(methods_mod, "run_method", real)
+    resumed = CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(
+        spec, resume=True
+    )
+    assert resumed.n_computed == 1 and resumed.n_failed == 0
+    assert golden_diff(
+        canonical(ref.outcomes[0].result),
+        canonical(resumed.outcomes[0].result),
+    ) == []
+    assert store.checkpoint_keys() == []
+
+
+def test_resume_after_torn_final_journal_line(spec, tmp_path, monkeypatch):
+    """A crash mid-append can only tear the journal's last line: the
+    intact prefix resumes, and the compaction rewrite keeps the
+    journal clean for the flushes the resumed run appends."""
+    ref = CampaignRunner(store=ResultStore(tmp_path / "ref"), jobs=1).run(spec)
+    key = spec.cells()[0].key
+    store = ResultStore(tmp_path / "store")
+    real = _kill_after_flush(monkeypatch, 2)
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    path = store.checkpoint_path(key)
+    intact = path.read_text().splitlines()[0]
+    path.write_text(intact + "\n" + '{"schema": 1, "torn')  # no newline
+
+    assert store.load_checkpoint(key)["step"] == 2  # tear discarded
+    monkeypatch.setattr(methods_mod, "run_method", real)
+    resumed = CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(
+        spec, resume=True
+    )
+    assert resumed.n_computed == 1 and resumed.n_failed == 0
+    assert golden_diff(
+        canonical(ref.outcomes[0].result),
+        canonical(resumed.outcomes[0].result),
+    ) == []
+
+
+def test_torn_mid_journal_line_fails_loudly(spec, tmp_path, monkeypatch):
+    """A tear anywhere but the final line is not something an O_APPEND
+    crash produces — it means store corruption and must not be
+    silently skipped."""
+    key = spec.cells()[0].key
+    store = ResultStore(tmp_path / "store")
+    _kill_after_flush(monkeypatch, 2)
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    monkeypatch.undo()
+    path = store.checkpoint_path(key)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(['{"schema": 1, "torn', *lines[1:]]) + "\n")
+    with pytest.raises(ValueError, match="torn"):
+        store.load_checkpoint(key)
+    rep = CampaignRunner(store=store, jobs=1).run(spec, resume=True)
+    assert rep.n_failed == 1 and "torn" in rep.outcomes[0].error
+
+
+def test_fresh_start_truncates_stale_journal(spec, tmp_path, monkeypatch):
+    """Without ``resume``, a leftover journal from an abandoned run is
+    dropped before the first flush — appended lines never concatenate
+    onto stale history."""
+    key = spec.cells()[0].key
+    store = ResultStore(tmp_path / "store")
+    _kill_after_flush(monkeypatch, 1)
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    assert store.load_checkpoint(key)["step"] == 2
+    # second crashed run WITHOUT resume: journal restarts from scratch
+    CampaignRunner(store=store, jobs=1, checkpoint_every=2).run(spec)
+    lines = store.checkpoint_path(key).read_text().splitlines()
+    assert len(lines) == 1  # not 2: the stale line is gone
+    assert json.loads(lines[0])["step"] == 2
+    assert "tail_from" not in json.loads(lines[0])["state"]["state"]
 
 
 def test_resume_with_unreadable_checkpoint_recomputes(spec, tmp_path):

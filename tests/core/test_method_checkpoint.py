@@ -5,6 +5,12 @@ resumed from the *JSON-persisted* state is bit-identical — summaries,
 per-step records, timeline totals, power — to a run that never
 stopped.  That exactness is what lets the campaign layer resume
 killed cells without invalidating golden fixtures.
+
+Flushes after the first carry only the records/waves tail since the
+previous flush (O(1) checkpoint bytes per step); a resumable state is
+reconstructed by merging the flush sequence with
+:func:`repro.io.results.merge_checkpoint_docs` — exactly what the
+campaign journal reader does.
 """
 
 import json
@@ -14,7 +20,11 @@ import pytest
 from repro.core.methods import run_method
 from repro.core.pipeline import PipelineState
 from repro.io.golden import canonical, golden_diff
-from repro.io.results import load_pipeline_state, save_pipeline_state
+from repro.io.results import (
+    load_pipeline_state,
+    merge_checkpoint_docs,
+    save_pipeline_state,
+)
 
 NT = 8
 WINDOW = (max(1, NT * 5 // 8), NT + 1)
@@ -61,14 +71,17 @@ def test_resume_bit_identical(
     )
     straight = run_method(ground_problem, forces, nt=NT, **kw)
 
-    # interrupted run: checkpoint every 3 steps, keep only the last
-    # flush (as a crashed campaign would), round-trip it through JSON
-    saved = {}
+    # interrupted run: checkpoint every 3 steps, keep the full flush
+    # journal (as a crashed campaign's checkpoint file would), merge
+    # it into one resumable state and round-trip it through JSON
+    flushes = []
     run_method(
         ground_problem, forces, nt=NT, checkpoint_every=3,
-        on_checkpoint=lambda doc: saved.update(doc), **kw
+        on_checkpoint=flushes.append, **kw
     )
+    saved = merge_checkpoint_docs(flushes)
     assert saved["step"] == 6  # flushes at 3 and 6; 8 is the finish
+    assert "tail_from" not in saved["state"]  # merged = self-contained
     path = save_pipeline_state(saved, tmp_path / "state.json")
     resumed = run_method(
         ground_problem, forces, nt=NT,
@@ -104,8 +117,11 @@ def test_resume_from_every_checkpoint(ground_problem, make_forces):
         on_checkpoint=flushes.append, **kw
     )
     assert [f["step"] for f in flushes] == [2, 4, 6]
-    for state in flushes:
-        state = canonical(state)  # what disk would return
+    # later flushes are incremental tails continuing the previous one
+    assert [f["state"].get("tail_from") for f in flushes] == [None, 2, 4]
+    for upto in range(1, len(flushes) + 1):
+        # what disk would return after merging the journal prefix
+        state = canonical(merge_checkpoint_docs(flushes[:upto]))
         resumed = run_method(
             ground_problem, forces, nt=NT, start_state=state, **kw
         )
@@ -121,11 +137,12 @@ def test_resume_bit_identical_under_twogrid(
     kw = dict(method="ebe-mcg@cpu-gpu", s_range=(2, 4), precond="twogrid")
     straight = run_method(ground_problem, forces, nt=NT, **kw)
 
-    saved = {}
+    flushes = []
     run_method(
         ground_problem, forces, nt=NT, checkpoint_every=3,
-        on_checkpoint=lambda doc: saved.update(doc), **kw
+        on_checkpoint=flushes.append, **kw
     )
+    saved = merge_checkpoint_docs(flushes)
     assert saved["precond"] == "twogrid"  # family stamped in the header
     path = save_pipeline_state(saved, tmp_path / "state.json")
     resumed = run_method(
@@ -198,6 +215,68 @@ def test_state_schema_mismatch_fails_loudly(tmp_path):
 def test_pipeline_state_rejects_unknown_keys():
     with pytest.raises(ValueError, match="unknown"):
         PipelineState.from_dict({"step": 1, "bogus": 2})
+
+
+def test_bare_tail_refuses_direct_resume(ground_problem, make_forces):
+    """An incremental tail is not a resumable state on its own — both
+    driver families must fail loudly rather than resume with a
+    truncated history."""
+    forces = make_forces(ground_problem, 2)
+    for method in ("crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu"):
+        flushes = []
+        run_method(
+            ground_problem, forces, nt=NT, method=method,
+            s_range=(2, 4), checkpoint_every=3,
+            on_checkpoint=flushes.append,
+        )
+        tail = flushes[-1]
+        assert tail["state"]["tail_from"] == 3
+        with pytest.raises(ValueError, match="tail"):
+            run_method(
+                ground_problem, forces, nt=NT, method=method,
+                s_range=(2, 4), start_state=tail,
+            )
+
+
+def test_merge_rejects_gaps_and_missing_head(ground_problem, make_forces):
+    """A journal with a hole (or whose full head flush is missing)
+    cannot be silently stitched — the merged history would be wrong."""
+    forces = make_forces(ground_problem, 2)
+    flushes = []
+    run_method(
+        ground_problem, forces, nt=NT, method="crs-cg@cpu-gpu",
+        s_range=(2, 4), checkpoint_every=2,
+        on_checkpoint=flushes.append,
+    )
+    assert len(flushes) == 3
+    with pytest.raises(ValueError, match="head"):
+        merge_checkpoint_docs(flushes[1:])  # tail without the full head
+    with pytest.raises(ValueError, match="gap"):
+        merge_checkpoint_docs([flushes[0], flushes[2]])  # hole at step 4
+    with pytest.raises(ValueError, match="no checkpoint"):
+        merge_checkpoint_docs([])
+
+
+def test_checkpoint_bytes_per_flush_bounded(ground_problem, make_forces):
+    """The O(n²/k) payload bug: every flush used to snapshot the full
+    records/waves history, so flush size grew linearly with the step.
+    With incremental tails each flush carries only ``checkpoint_every``
+    steps of history — flush sizes must stay flat."""
+    forces = make_forces(ground_problem, 2)
+    for method in ("crs-cg@cpu-gpu", "ebe-mcg@cpu-gpu"):
+        sizes = []
+        run_method(
+            ground_problem, forces, nt=16, method=method, s_range=(2, 4),
+            checkpoint_every=2,
+            on_checkpoint=lambda doc: sizes.append(
+                len(json.dumps(canonical(doc)))
+            ),
+        )
+        assert len(sizes) >= 6
+        # every incremental flush stays within a constant factor of the
+        # first tail (solver state is O(1); only record tails vary)
+        tails = sizes[1:]
+        assert max(tails) <= 1.5 * min(tails), (method, sizes)
 
 
 def test_checkpoint_every_validated(ground_problem, make_forces):

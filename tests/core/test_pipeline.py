@@ -162,11 +162,7 @@ def test_resume_bootstraps_only_once(ground_problem, make_forces):
     pipe = make_pipeline(ground_problem, make_forces(ground_problem, 4, seed0=41))
     pipe.run(3)
     pipe.run(2)
-    n_pred = sum(
-        1 for iv in pipe.timeline.intervals
-        if iv.resource == "cpu" and iv.label == "predictor"
-    )
-    assert n_pred == 1 + 2 * 5
+    assert pipe.timeline.count("cpu", "predictor") == 1 + 2 * 5
 
 
 def test_s_used_recorded_per_set_at_predict_time(ground_problem, make_forces):

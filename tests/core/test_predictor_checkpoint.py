@@ -12,7 +12,11 @@ import pytest
 
 from repro.core.methods import native_predictor, run_method
 from repro.io.golden import canonical, golden_diff
-from repro.io.results import load_pipeline_state, save_pipeline_state
+from repro.io.results import (
+    load_pipeline_state,
+    merge_checkpoint_docs,
+    save_pipeline_state,
+)
 from repro.predictor.registry import predictor_names
 
 NT = 8
@@ -58,13 +62,15 @@ def test_resume_bit_identical_per_predictor(
               predictor=predictor)
     straight = run_method(ground_problem, forces, nt=NT, **kw)
 
-    # interrupted run: checkpoint every 3 steps, keep only the last
-    # flush (as a crashed campaign would), round-trip it through JSON
-    saved = {}
+    # interrupted run: checkpoint every 3 steps, merge the flush
+    # journal (as a crashed campaign's reader would), round-trip the
+    # merged state through JSON
+    flushes = []
     run_method(
         ground_problem, forces, nt=NT, checkpoint_every=3,
-        on_checkpoint=lambda doc: saved.update(doc), **kw
+        on_checkpoint=flushes.append, **kw
     )
+    saved = merge_checkpoint_docs(flushes)
     assert saved["step"] == 6  # flushes at 3 and 6; 8 is the finish
     if predictor != native_predictor(method):
         assert saved["predictor"] == predictor  # stamped in the header
@@ -91,11 +97,12 @@ def test_explicit_native_equals_auto(ground_problem, make_forces):
     )
     assert golden_diff(_doc(auto), _doc(named)) == []
 
-    saved = {}
+    flushes = []
     run_method(
         ground_problem, forces, nt=NT, predictor="data-driven",
-        checkpoint_every=3, on_checkpoint=lambda doc: saved.update(doc), **kw
+        checkpoint_every=3, on_checkpoint=flushes.append, **kw
     )
+    saved = merge_checkpoint_docs(flushes)
     assert "predictor" not in saved
     # ...so an old (pre-axis) checkpoint resumes under either spelling
     resumed = run_method(

@@ -1,0 +1,130 @@
+"""Unit tests for the bounded ring/spill writers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import StepRecord
+from repro.io.spill import RecordLog, WaveLog
+
+
+def _rec(step: int) -> StepRecord:
+    return StepRecord(
+        step=step, iterations=np.array([3 + step % 2]), t_solver=0.1,
+        t_predictor=0.05, t_transfer=0.01, t_step=0.1, s_used=2,
+        relres=1e-9,
+    )
+
+
+# ---------------------------------------------------------------- records
+def test_record_log_list_surface(tmp_path):
+    log = RecordLog(tmp_path / "records.jsonl", keep=4)
+    assert not log and len(log) == 0
+    for i in range(1, 11):
+        log.append(_rec(i))
+    assert log and len(log) == 10
+    assert log[-1].step == 10
+    assert log[0].step == 1  # replayed from the spill file
+    assert [r.step for r in log] == list(range(1, 11))
+    # spilled records round-trip through their JSON document form
+    assert log[2].to_dict() == _rec(3).to_dict()
+    log.close()
+
+
+def test_record_log_spills_beyond_keep(tmp_path):
+    path = tmp_path / "records.jsonl"
+    log = RecordLog(path, keep=3)
+    for i in range(1, 4):
+        log.append(_rec(i))
+    assert not path.exists()  # within the ring: no I/O at all
+    log.append(_rec(4))
+    log.close()
+    assert path.exists()
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_record_log_tail_prefers_ring(tmp_path):
+    log = RecordLog(tmp_path / "r.jsonl", keep=4)
+    for i in range(1, 11):
+        log.append(_rec(i))
+    # cadence within the ring: served without touching the disk
+    assert [r.step for r in log.tail(8)] == [9, 10]
+    assert [r.step for r in log.tail(6)] == [7, 8, 9, 10]
+    # beyond the ring: full replay still yields the exact tail
+    assert [r.step for r in log.tail(2)] == list(range(3, 11))
+    assert [r.step for r in log.tail(0)] == list(range(1, 11))
+    log.close()
+
+
+def test_record_log_replace_and_clear(tmp_path):
+    path = tmp_path / "r.jsonl"
+    log = RecordLog(path, keep=2)
+    for i in range(1, 8):
+        log.append(_rec(i))
+    log.replace([_rec(i) for i in (1, 2, 3)])
+    assert [r.step for r in log] == [1, 2, 3]
+    log.clear()
+    assert len(log) == 0 and not path.exists()
+
+
+def test_record_log_validates_keep(tmp_path):
+    with pytest.raises(ValueError):
+        RecordLog(tmp_path / "r.jsonl", keep=0)
+
+
+# ------------------------------------------------------------------ waves
+def _frame(i: int, shape=(2, 3)) -> np.ndarray:
+    return np.full(shape, float(i))
+
+
+def test_wave_log_spills_and_stacks(tmp_path):
+    log = WaveLog(tmp_path / "waves.bin", keep=3)
+    for i in range(10):
+        log.append(_frame(i))
+    assert len(log) == 10
+    frames = log.all()
+    assert len(frames) == 10
+    for i, f in enumerate(frames):
+        np.testing.assert_array_equal(f, _frame(i), strict=True)
+    cube = log.stacked()
+    assert cube.shape == (2, 10, 3)  # (ncases, nt, nrec)
+    np.testing.assert_array_equal(cube[:, 4, :], _frame(4))
+    log.close()
+
+
+def test_wave_log_lossy_mode_drops_and_refuses_all():
+    log = WaveLog(keep=3)
+    for i in range(5):
+        log.append(_frame(i))
+    assert len(log) == 5  # count remembers the drops
+    tail = log.last(2)
+    np.testing.assert_array_equal(tail[0], _frame(3))
+    np.testing.assert_array_equal(tail[1], _frame(4))
+    with pytest.raises(ValueError, match="dropped"):
+        log.all()
+
+
+def test_wave_log_last_refuses_beyond_ring(tmp_path):
+    log = WaveLog(tmp_path / "w.bin", keep=2)
+    for i in range(6):
+        log.append(_frame(i))
+    with pytest.raises(ValueError, match="keep"):
+        log.last(3)
+    assert log.last(0) == []
+
+
+def test_wave_log_rejects_shape_change(tmp_path):
+    log = WaveLog(tmp_path / "w.bin", keep=4)
+    log.append(_frame(0))
+    with pytest.raises(ValueError, match="shape"):
+        log.append(np.zeros((3, 3)))
+
+
+def test_wave_log_replace_and_empty_stacked(tmp_path):
+    log = WaveLog(tmp_path / "w.bin", keep=2)
+    for i in range(5):
+        log.append(_frame(i))
+    log.replace([_frame(9)])
+    assert len(log) == 1
+    np.testing.assert_array_equal(log.stacked(), _frame(9)[:, None, :])
+    log.clear()
+    assert log.stacked() is None

@@ -1,0 +1,216 @@
+"""Unit and property tests for the streaming source protocol.
+
+The contract every :mod:`repro.workloads.sources` implementor obeys:
+``evaluate(it, out)`` writes exactly what legacy ``__call__(it)``
+returned, the declared ``window()`` brackets every nonzero step (value
+equality — signed zeros outside the window are inert under addition),
+and chained sources compose associatively on one step clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waves import BandlimitedImpulse, ImpulseForce, ricker_support_steps
+from repro.workloads.library import AftershockSequence, KinematicRuptureForce
+from repro.workloads.scenario import wave_params
+from repro.workloads.sources import (
+    CallableSource,
+    ChainedSource,
+    QuiescentSource,
+    as_source,
+    is_source,
+    source_active,
+)
+
+
+def _sources(problem):
+    """One instance of every streaming implementor, rng-seeded."""
+    mesh, dt = problem.mesh, problem.dt
+    f0 = 0.3 / (np.pi * dt)
+    return [
+        ImpulseForce.random(mesh, rng=5),
+        BandlimitedImpulse.random(mesh, dt, rng=6),
+        KinematicRuptureForce.random(
+            mesh, dt, rng=np.random.default_rng(7), amplitude=1e6, f0=f0
+        ),
+        AftershockSequence.random(
+            mesh, dt, rng=np.random.default_rng(8), amplitude=1e6, f0=f0
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def problem(request):
+    from repro.workloads.ground import build_ground_problem, stratified_model
+
+    return build_ground_problem(stratified_model(), resolution=(2, 2, 1))
+
+
+def test_evaluate_matches_call_inside_window(problem):
+    """Bit-identity between the streaming and legacy entry points over
+    the whole active window (plus margin on both sides)."""
+    for src in _sources(problem):
+        start, stop = src.window()
+        out = np.empty(problem.n_dofs)
+        for it in range(max(0, start - 3), stop + 3):
+            src.evaluate(it, out)
+            np.testing.assert_array_equal(out, src(it), strict=True)
+
+
+def test_zero_outside_window(problem):
+    """Steps outside the declared window are exactly zero-valued (the
+    memset-or-nothing guarantee endurance runs rely on)."""
+    zero = np.zeros(problem.n_dofs)
+    for src in _sources(problem):
+        start, stop = src.window()
+        out = np.full(problem.n_dofs, np.nan)  # memset must overwrite
+        for it in [max(0, start - 1), stop, stop + 7, stop + 10_000]:
+            if start <= it < stop:
+                continue
+            src.evaluate(it, out)
+            np.testing.assert_array_equal(out, zero)
+
+
+def test_window_brackets_every_nonzero_step(problem):
+    """Scanning far past the window finds no nonzero the window missed."""
+    for src in _sources(problem):
+        start, stop = src.window()
+        for it in range(0, stop + 50):
+            if np.any(src(it) != 0.0):
+                assert start <= it < stop, (type(src).__name__, it)
+
+
+def test_ricker_support_steps_bounds_the_wavelet():
+    f0, t0, dt = 30.0, 0.05, 0.001
+    start, stop = ricker_support_steps(f0, t0, dt)
+    from repro.analysis.waves import ricker
+
+    t = np.arange(0, stop + 200) * dt
+    w = ricker(t, f0, t0)
+    nz = np.nonzero(w)[0]
+    assert start <= nz[0] and nz[-1] < stop
+    # multi-onset form: the union window covers the latest event
+    start2, stop2 = ricker_support_steps(f0, t0, dt, t0_max=3 * t0)
+    assert start2 == start and stop2 > stop
+
+
+def test_quiescent_source():
+    q = QuiescentSource(5, 11)
+    assert q.window() == (11, 11)  # empty window: never active
+    out = np.full(5, 3.0)
+    q.evaluate(0, out)
+    np.testing.assert_array_equal(out, np.zeros(5))
+    np.testing.assert_array_equal(q(4), np.zeros(5))
+    with pytest.raises(ValueError):
+        QuiescentSource(5, -1)
+
+
+def test_chained_source_offsets_and_window(problem):
+    a = BandlimitedImpulse.random(problem.mesh, problem.dt, rng=1)
+    b = AftershockSequence.random(
+        problem.mesh, problem.dt, rng=np.random.default_rng(2),
+        amplitude=1e6, f0=0.3 / (np.pi * problem.dt),
+    )
+    quiet = QuiescentSource(problem.n_dofs, 9)
+    chain = ChainedSource([a, b, quiet])
+    a_stop = a.window()[1]
+    b_stop = b.window()[1]
+    assert chain.window() == (a.window()[0], a_stop + b_stop + 9)
+    out = np.empty(problem.n_dofs)
+    # part A plays verbatim, part B plays shifted by A's stop
+    for it in (a.window()[0], a_stop - 1):
+        chain.evaluate(it, out)
+        np.testing.assert_array_equal(out, a(it), strict=True)
+    for local in (b.window()[0], b_stop - 1):
+        chain.evaluate(a_stop + local, out)
+        np.testing.assert_array_equal(out, b(local), strict=True)
+    # the trailing quiescence and beyond are silent
+    chain.evaluate(a_stop + b_stop + 3, out)
+    np.testing.assert_array_equal(out, np.zeros(problem.n_dofs))
+
+
+def test_chain_associativity(problem):
+    """Nested grouping is flattened: (a+b)+c == a+(b+c) == a+b+c,
+    step for step and in the declared window."""
+    mk = lambda seed: BandlimitedImpulse.random(
+        problem.mesh, problem.dt, rng=seed
+    )
+    a, b, c = mk(11), mk(12), mk(13)
+    flat = ChainedSource([a, b, c])
+    left = ChainedSource([ChainedSource([a, b]), c])
+    right = ChainedSource([a, ChainedSource([b, c])])
+    assert left.window() == flat.window() == right.window()
+    out_f = np.empty(problem.n_dofs)
+    out_g = np.empty(problem.n_dofs)
+    for it in range(0, flat.window()[1] + 5):
+        flat.evaluate(it, out_f)
+        for other in (left, right):
+            other.evaluate(it, out_g)
+            np.testing.assert_array_equal(out_g, out_f, strict=True)
+
+
+def test_chained_source_rejects_unbounded_parts(problem):
+    unbounded = as_source(lambda it: np.zeros(problem.n_dofs))
+    with pytest.raises(ValueError, match="window"):
+        ChainedSource([unbounded])
+    with pytest.raises(ValueError, match="at least one"):
+        ChainedSource([])
+
+
+def test_as_source_wraps_plain_callables():
+    fn = lambda it: np.full(4, float(it))
+    src = as_source(fn)
+    assert isinstance(src, CallableSource)
+    assert src.window() is None
+    assert not source_active(src, 3) is False  # window None = always active
+    out = np.empty(4)
+    src.evaluate(7, out)
+    np.testing.assert_array_equal(out, fn(7))
+    np.testing.assert_array_equal(src(7), fn(7))
+    assert src.state_dict() == {}
+    with pytest.raises(TypeError):
+        as_source(42)
+
+
+def test_as_source_passthrough_and_is_source(problem):
+    src = BandlimitedImpulse.random(problem.mesh, problem.dt, rng=3)
+    assert is_source(src)
+    assert as_source(src) is src
+    assert not is_source(lambda it: 0)
+
+
+def test_source_active_respects_window(problem):
+    src = ImpulseForce.random(problem.mesh, rng=4)
+    start, stop = src.window()
+    assert stop == start + 1
+    assert source_active(src, start)
+    assert not source_active(src, stop)
+    assert source_active(as_source(lambda it: 0), 10**9)
+
+
+def test_chain_state_roundtrip(problem):
+    """A chain of stateless parts keeps the empty-state discipline."""
+    chain = ChainedSource(
+        [
+            BandlimitedImpulse.random(problem.mesh, problem.dt, rng=21),
+            QuiescentSource(problem.n_dofs, 5),
+        ]
+    )
+    assert chain.state_dict() == {}
+    chain.load_state_dict(chain.state_dict())  # no-op roundtrip
+
+
+def test_wave_params_rejects_unknown_keys():
+    good = {"amplitude": 1.0, "f0_factor": 0.3, "cycles_to_onset": 1.0}
+    assert wave_params({**good, "name": "w0"})["amplitude"] == 1.0
+    with pytest.raises(ValueError, match="frequencyy"):
+        wave_params({**good, "frequencyy": 2.0})
+
+
+def test_wave_spec_from_dict_rejects_unknown_keys():
+    from repro.campaign.spec import WaveSpec
+
+    w = WaveSpec.from_dict({"name": "w0", "amplitude": 2.0})
+    assert w.amplitude == 2.0
+    with pytest.raises(ValueError, match="amplitud"):
+        WaveSpec.from_dict({"name": "w0", "amplitud": 2.0})
